@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` target regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 3).  Results are printed into the
+pytest terminal summary and saved under ``benchmarks/results/`` so the
+EXPERIMENTS.md paper-vs-measured record can be assembled from a run.
+
+Set ``REPRO_FULL=1`` to run the paper-scale inputs (e.g. the 800x800
+Gaussian elimination); the default sizes preserve every curve's shape at
+a fraction of the wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: full paper-scale inputs (slower); default is a scaled-down shape run
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: collected (name, text) reports, printed in the terminal summary
+REPORTS: list[tuple[str, str]] = []
+
+
+def publish(name: str, text: str) -> None:
+    """Record a finished experiment's report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    REPORTS.append((name, text))
+
+
+def gauss_n() -> int:
+    """Matrix size for the Gauss experiments (paper: 800)."""
+    return 800 if FULL else 400
+
+
+def mergesort_n() -> int:
+    return 262144 if FULL else 65536
+
+
+def processor_counts() -> tuple[int, ...]:
+    return (1, 2, 4, 8, 12, 16) if FULL else (1, 2, 4, 8, 16)

@@ -1,0 +1,78 @@
+"""Figure 1: Gaussian elimination speedup vs processors.
+
+The paper plots near-linear speedup on a 16-processor Butterfly Plus,
+reaching 13.5 at 16 processors on the 800x800 integer input.  The default
+run uses a 400x400 input (REPRO_FULL=1 for 800x800); the smaller input
+amortizes the per-round pivot-replication cost over less work, so its
+16-processor speedup sits a little below the paper's.
+"""
+
+from _common import FULL, gauss_n, processor_counts, publish
+
+from repro.analysis import ascii_plot, measure_speedup
+from repro.workloads import GaussianElimination
+
+
+def _measure():
+    n = gauss_n()
+    curve = measure_speedup(
+        lambda p: GaussianElimination(n=n, n_threads=p,
+                                      verify_result=False),
+        processor_counts=processor_counts(),
+        machine_processors=16,
+        label=f"PLATINUM Gauss {n}x{n}",
+        keep_results=True,
+    )
+    return n, curve
+
+
+def _render(n, curve) -> str:
+    lines = [
+        f"Figure 1 -- Gaussian elimination ({n}x{n}, 16-node machine)",
+        "",
+        curve.format(),
+        "",
+        f"paper: speedup 13.5 at p=16 on 800x800 "
+        f"(this run: {curve.at(max(curve.processors)).speedup:.2f} at "
+        f"p={max(curve.processors)}"
+        + ("" if FULL else "; set REPRO_FULL=1 for the 800x800 input")
+        + ")",
+        "",
+        ascii_plot(
+            curve.processors,
+            {
+                "measured": curve.speedups,
+                "ideal": [float(p) for p in curve.processors],
+            },
+            title="speedup vs processors",
+            y_label="speedup",
+        ),
+    ]
+    last = curve.points[-1].result
+    if last is not None:
+        report = last.report
+        matrix_wait = sum(
+            r.handler_wait_ms for r in report.rows
+            if r.label.startswith("matrix")
+        )
+        frozen = [r.label for r in report.ever_frozen_pages]
+        lines += [
+            "",
+            "post-mortem at the largest p (paper section 5.1):",
+            f"  fault-handler contention on matrix (pivot) pages: "
+            f"{matrix_wait:.1f} ms total",
+            f"  frozen pages: {frozen[:6]}"
+            + (" ..." if len(frozen) > 6 else "")
+            + "  (paper: only the event-count page froze)",
+        ]
+    return "\n".join(lines)
+
+
+def test_figure1_gauss_speedup(benchmark):
+    n, curve = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = _render(n, curve)
+    # shape assertions: monotone rising, substantial speedup at p=16
+    speedups = curve.speedups
+    assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
+    assert curve.at(16).speedup > (10.0 if FULL else 6.0)
+    publish("fig1_gauss", text)

@@ -1,0 +1,90 @@
+"""Figure 6: recurrent backpropagation simulator speedup.
+
+Paper section 5.3: the fine-grain, unsynchronized simulator defeats
+replication -- "the coherent memory system quickly gives up and the data
+pages of the application are frozen in place".  The speedup curve is
+linear over the measured range, but "the extensive use of remote accesses
+limits the contribution of each incremental processor to about 1/2 that
+of a processor that makes only local memory references".
+
+Reproduction targets: the application's shared data pages end up frozen,
+the training-pattern pages (read-only) replicate, and the speedup stays
+roughly linear with slope ~1/2 over the small-p range.
+"""
+
+from _common import publish
+
+from repro.analysis import ascii_plot, measure_speedup
+from repro.runtime import make_kernel, run_program
+from repro.workloads import NeuralNetSimulator
+
+COUNTS = (1, 2, 4, 6, 8, 10)
+
+
+def _measure():
+    curve = measure_speedup(
+        lambda p: NeuralNetSimulator(epochs=30, n_threads=p),
+        processor_counts=COUNTS,
+        machine_processors=16,
+        label="neural net (40 units, 16 patterns)",
+    )
+    # one instrumented run for the frozen-page observation
+    kernel = make_kernel(n_processors=16, defrost_enabled=False)
+    result = run_program(
+        kernel, NeuralNetSimulator(epochs=10, n_threads=8)
+    )
+    return curve, result
+
+
+def _render(curve, result) -> str:
+    slopes = [
+        (b.speedup - a.speedup) / (b.processors - a.processors)
+        for a, b in zip(curve.points, curve.points[1:])
+    ]
+    frozen = sorted(
+        r.label for r in result.report.ever_frozen_pages
+    )
+    replicated_patterns = [
+        r.label for r in result.report.rows
+        if r.label.startswith("patterns") and r.replications > 0
+    ]
+    return "\n".join([
+        "Figure 6 -- recurrent backpropagation simulator "
+        "(40 units, 16 I/O pairs)",
+        "",
+        curve.format(),
+        "",
+        "incremental slope per added processor: "
+        + ", ".join(f"{s:.2f}" for s in slopes),
+        "paper: linear with each incremental processor contributing "
+        "~1/2 of all-local",
+        "",
+        ascii_plot(
+            list(curve.processors),
+            {
+                "measured": curve.speedups,
+                "half-slope": [p / 2 for p in curve.processors],
+            },
+            title="speedup vs processors",
+            y_label="speedup",
+        ),
+        "",
+        "frozen application data pages (paper: the data pages are frozen "
+        "in place):",
+        f"  {frozen}",
+        f"read-only pattern pages replicated: {replicated_patterns}",
+    ])
+
+
+def test_figure6_neural_speedup(benchmark):
+    curve, result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = _render(curve, result)
+    # shared data pages freeze; read-only patterns replicate
+    frozen_labels = {r.label for r in result.report.ever_frozen_pages}
+    assert any(lbl.startswith(("act", "weights")) for lbl in frozen_labels)
+    # roughly linear with slope near 1/2 over the measured range
+    mid = [pt for pt in curve.points if pt.processors >= 2]
+    for pt in mid:
+        slope = pt.speedup / pt.processors
+        assert 0.3 <= slope <= 0.75, (pt.processors, slope)
+    publish("fig6_neural", text)

@@ -1,0 +1,115 @@
+"""Section 4.2 anecdote: the co-located spin lock that froze a hot page.
+
+The paper's first Gaussian elimination version placed a startup spin lock
+on the same page as the matrix-size variable read in every inner-loop
+termination test.  Spinning froze the page, turning those reads remote
+and serializing on one memory module; the kernel's post-mortem report
+(fault counts, handler contention, frozen flags) made the diagnosis
+straightforward.  After adding thawing to the kernel, the *bad* layout
+cost only ~2 more seconds than the fixed program.
+
+Four configurations reproduce the story:
+  separated layout                  -- the fixed program
+  co-located, defrost off           -- the original pathology
+  co-located, defrost on            -- thawing rescues the layout
+  separated, defrost on             -- thawing adds no measurable cost
+"""
+
+from _common import publish
+
+from repro.analysis import format_table
+from repro.runtime import make_kernel, run_program
+from repro.workloads import GaussianElimination
+
+N = 96
+
+
+def _run(colocate: bool, defrost: bool):
+    kernel = make_kernel(
+        n_processors=8,
+        defrost_enabled=defrost,
+        defrost_period=20e6,  # sped up so the short run shows the rescue
+    )
+    result = run_program(
+        kernel,
+        GaussianElimination(
+            n=N, n_threads=8, colocate_lock_with_size=colocate,
+            verify_result=False,
+        ),
+    )
+    # misc[0] is the page holding the matrix-size variable; with the
+    # co-located layout it also holds the spin-lock words.  (misc[1], the
+    # separated lock page, always freezes -- that is fine.)
+    size_rows = [r for r in result.report.rows if r.label == "misc[0]"]
+    return {
+        "time_ms": result.sim_time_ms,
+        "remote_words": result.report.remote_words,
+        "size_page_frozen": any(r.was_frozen for r in size_rows),
+        "size_page_thawed": any(
+            r.was_frozen and not r.frozen for r in size_rows
+        ),
+    }
+
+
+def _measure():
+    return {
+        "separated, no defrost": _run(False, False),
+        "co-located, no defrost": _run(True, False),
+        "co-located, defrost": _run(True, True),
+        "separated, defrost": _run(False, True),
+    }
+
+
+def _render(data) -> str:
+    rows = [
+        [
+            name,
+            f"{d['time_ms']:.1f}",
+            d["remote_words"],
+            "yes" if d["size_page_frozen"] else "no",
+            "yes" if d["size_page_thawed"] else "no",
+        ]
+        for name, d in data.items()
+    ]
+    table = format_table(
+        ["configuration", "time (ms)", "remote words", "froze",
+         "thawed"],
+        rows,
+        title=(
+            f"Section 4.2 anecdote -- Gauss {N}x{N}, spin lock vs "
+            "matrix-size variable placement"
+        ),
+    )
+    bad = data["co-located, no defrost"]
+    rescued = data["co-located, defrost"]
+    good = data["separated, no defrost"]
+    extra = bad["remote_words"] - good["remote_words"]
+    remaining = rescued["remote_words"] - good["remote_words"]
+    return table + (
+        "\n\nremote inner-loop reads forced by the frozen page: "
+        f"{extra}"
+        f"\nafter thawing, only {max(0, remaining)} extra remote reads "
+        "remain: the defrost daemon salvages the bad layout"
+        "\n(paper: with thawing, the bad layout cost under two seconds "
+        "extra on the full 800x800 run; at this reduced scale the "
+        "re-replication faults the thaws trigger outweigh the saved "
+        "remote reads, so the rescue shows in the traffic, not the time)"
+    )
+
+
+def test_section42_colocated_lock_anecdote(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = _render(data)
+    # the pathology: co-location freezes the page and forces remote reads
+    assert data["co-located, no defrost"]["size_page_frozen"]
+    assert not data["separated, no defrost"]["size_page_frozen"]
+    assert (
+        data["co-located, no defrost"]["remote_words"]
+        > data["separated, no defrost"]["remote_words"]
+    )
+    # the rescue: defrost reduces the remote traffic of the bad layout
+    assert (
+        data["co-located, defrost"]["remote_words"]
+        < data["co-located, no defrost"]["remote_words"]
+    )
+    publish("sec42_anecdote", text)

@@ -1,0 +1,105 @@
+"""Section 5.1: PLATINUM vs Uniform System vs SMP on Gaussian elimination.
+
+Paper, at 16 processors on the 800x800 input:
+  PLATINUM        speedup 13.5
+  Uniform System  speedup 10.6   (LeBlanc's most efficient US version)
+  SMP messages    speedup 15.3   (hand-tuned message passing)
+
+The ordering -- static placement < coherent memory < hand-tuned message
+passing, with PLATINUM close to SMP -- is the reproduction target.  The
+paper also notes the PLATINUM program needs far less code (17 lines of
+elimination code vs 41 for the US and 64 for SMP).
+"""
+
+from _common import publish
+
+from repro.analysis import format_table
+from repro.baselines import (
+    SMPGauss,
+    UniformSystemGauss,
+    smp_kernel,
+    uniform_system_kernel,
+)
+from repro.runtime import make_kernel, run_program
+from repro.workloads import GaussianElimination
+
+PAPER = {"PLATINUM": 13.5, "Uniform System": 10.6, "SMP": 15.3}
+
+
+def _speedup16(kernel_factory, program_factory):
+    times = {}
+    for p in (1, 16):
+        result = run_program(kernel_factory(), program_factory(p))
+        times[p] = result.sim_time_ns
+    return times[1] / times[16], times
+
+
+def _measure():
+    # the three-system ordering is a property of the paper's problem
+    # scale: at 800x800 the per-round pivot distribution cost is amortized
+    # by enough elimination work for coherent memory to overtake static
+    # placement.  Smaller inputs genuinely invert the PLATINUM/US order
+    # (the page-granularity amortization argument of section 4.1), so
+    # this benchmark always runs the full input.
+    n = 800
+    systems = {
+        "PLATINUM": (
+            lambda: make_kernel(n_processors=16),
+            lambda p: GaussianElimination(n=n, n_threads=p,
+                                          verify_result=False),
+        ),
+        "Uniform System": (
+            lambda: uniform_system_kernel(16),
+            lambda p: UniformSystemGauss(n=n, n_threads=p,
+                                         verify_result=False),
+        ),
+        "SMP": (
+            lambda: smp_kernel(16),
+            lambda p: SMPGauss(n=n, n_threads=p, verify_result=False),
+        ),
+    }
+    measured = {}
+    for name, (kf, pf) in systems.items():
+        speedup, times = _speedup16(kf, pf)
+        measured[name] = (speedup, times)
+    return n, measured
+
+
+def _render(n, measured) -> str:
+    rows = []
+    for name, (speedup, times) in measured.items():
+        rows.append([
+            name,
+            f"{PAPER[name]:.1f}",
+            f"{speedup:.2f}",
+            f"{times[1] / 1e9:.2f}",
+            f"{times[16] / 1e9:.3f}",
+        ])
+    table = format_table(
+        ["system", "paper speedup@16", "measured", "T1 (s)", "T16 (s)"],
+        rows,
+        title=(
+            f"Section 5.1 -- Gauss {n}x{n}: 16-processor speedup "
+            "by programming system"
+        ),
+    )
+    order = sorted(measured, key=lambda k: measured[k][0])
+    note = (
+        "\nmeasured ordering: "
+        + " < ".join(f"{k} ({measured[k][0]:.1f})" for k in order)
+        + "\npaper ordering:    Uniform System (10.6) < PLATINUM (13.5)"
+        " < SMP (15.3)"
+    )
+    return table + note
+
+
+def test_section51_three_system_comparison(benchmark):
+    n, measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = _render(n, measured)
+    # the ordering must reproduce: US < PLATINUM < SMP
+    assert (
+        measured["Uniform System"][0]
+        < measured["PLATINUM"][0]
+        < measured["SMP"][0]
+    )
+    publish("sec51_comparison", text)

@@ -1,0 +1,66 @@
+"""Table 1: minimum page size for migration to pay (paper section 4.1).
+
+Regenerates the (rho, g) grid from the analytic model and compares every
+cell against the published table.
+"""
+
+from _common import publish
+
+from repro.analysis import (
+    MigrationCostModel,
+    TABLE1_GS,
+    TABLE1_PUBLISHED,
+    TABLE1_RHOS,
+)
+from repro.machine import BUTTERFLY_PLUS
+
+
+def _render() -> str:
+    paper_model = MigrationCostModel.paper_constants()
+    machine_model = MigrationCostModel.from_params(BUTTERFLY_PLUS)
+    generated = paper_model.table1()
+
+    lines = [
+        "Table 1 -- S_min (words) above which migration always pays",
+        "",
+        f"  {'rho':>5} | "
+        + " | ".join(f"{'g=' + str(g):>21}" for g in TABLE1_GS),
+        f"  {'':>5} | "
+        + " | ".join(f"{'paper':>10} {'meas.':>10}" for _ in TABLE1_GS),
+        "  " + "-" * 79,
+    ]
+    mismatches = 0
+    for rho in TABLE1_RHOS:
+        cells = []
+        for got, pub in zip(generated[rho], TABLE1_PUBLISHED[rho]):
+            pub_s = "never" if pub is None else str(pub)
+            got_s = "never" if got is None else str(got)
+            ok = (
+                (pub is None and got is None)
+                or (pub is not None and got is not None
+                    and abs(got - pub) <= max(1, 0.03 * pub))
+            )
+            if not ok:
+                mismatches += 1
+            cells.append(f"{pub_s:>10} {got_s:>10}")
+        lines.append(f"  {rho:>5} | " + " | ".join(cells))
+    lines += [
+        "",
+        f"  cells outside 3% of the published value: {mismatches}",
+        "  (the published rho=0.48, g=1 cell (435) is internally",
+        "   inconsistent with the paper's own formula, which gives ~446)",
+        "",
+        "  model constants:",
+        f"    paper-mode:   T_b/(T_r-T_l) = "
+        f"{paper_model.density_coefficient:.4f}, "
+        f"F/(T_r-T_l) = {paper_model.numerator_coefficient:.1f} words",
+        f"    machine-mode: T_b/(T_r-T_l) = "
+        f"{machine_model.density_coefficient:.4f}, "
+        f"F/(T_r-T_l) = {machine_model.numerator_coefficient:.1f} words",
+    ]
+    return "\n".join(lines)
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    publish("tab1_costmodel", text)

@@ -1,0 +1,25 @@
+"""Benchmark-session plumbing: print every experiment's table at the end."""
+
+import sys
+from pathlib import Path
+
+# make `import _common` work regardless of invocation directory
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _common  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _common.REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("PLATINUM reproduction results (paper vs measured)")
+    for name, text in _common.REPORTS:
+        tr.write_line("")
+        tr.write_line(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        for line in text.splitlines():
+            tr.write_line(line)
+    tr.write_line("")
+    tr.write_line(
+        f"(reports saved under {_common.RESULTS_DIR})"
+    )

@@ -1,0 +1,36 @@
+"""Reproduction of PLATINUM (Cox & Fowler, SOSP 1989).
+
+A coherent memory abstraction for NUMA multiprocessors, implemented on a
+simulated BBN Butterfly Plus-class machine: page replication and
+migration via a directory-based selective-invalidation protocol extended
+with remote mappings and a freeze/thaw replication policy.
+
+Quickstart::
+
+    from repro import make_kernel, run_program
+    from repro.workloads import GaussianElimination
+
+    kernel = make_kernel(n_processors=16)
+    result = run_program(kernel, GaussianElimination(n=128))
+    print(result.sim_time_ms, "ms simulated")
+    print(result.report.format())
+"""
+
+from .kernel import Kernel
+from .machine import BUTTERFLY_PLUS, Machine, MachineParams, butterfly_plus
+from .runtime import Program, RunResult, make_kernel, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUTTERFLY_PLUS",
+    "Kernel",
+    "Machine",
+    "MachineParams",
+    "Program",
+    "RunResult",
+    "butterfly_plus",
+    "make_kernel",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analytic models and measurement utilities for the evaluation."""
+
+from .costmodel import (
+    MigrationCostModel,
+    TABLE1_GS,
+    TABLE1_PUBLISHED,
+    TABLE1_RHOS,
+    crossover_validation,
+    g_round_robin,
+)
+from .report import ascii_plot, compare_to_paper, format_table
+from .speedup import SpeedupCurve, SpeedupPoint, measure_speedup
+from .visualize import (
+    event_rate,
+    page_heat,
+    processor_profile,
+    run_dashboard,
+)
+
+__all__ = [
+    "MigrationCostModel",
+    "SpeedupCurve",
+    "SpeedupPoint",
+    "TABLE1_GS",
+    "TABLE1_PUBLISHED",
+    "TABLE1_RHOS",
+    "ascii_plot",
+    "compare_to_paper",
+    "crossover_validation",
+    "event_rate",
+    "format_table",
+    "g_round_robin",
+    "measure_speedup",
+    "page_heat",
+    "processor_profile",
+    "run_dashboard",
+]

@@ -1,0 +1,192 @@
+"""The section 4.1 migration-economics model and Table 1.
+
+The paper asks: when does it pay to *move* a page rather than access it
+remotely?  With
+
+* ``g(p)``  -- average data movements per remote operation saved
+  (``p/(p-1)`` under strict round-robin access by ``p`` processors),
+* ``rho``   -- reference density: references per word of page,
+* ``T_l``, ``T_r`` -- local/remote per-word reference times,
+* ``T_b``   -- block-transfer time per word, and
+* ``F``     -- fixed overhead of a migration (~0.48 ms),
+
+migration pays when (inequality 1)
+
+    rho * s * T_r  >  g * (s * T_b + F) + rho * s * T_l
+
+which rearranges to the minimum economical page size (inequality 2)
+
+    s  >  (g * F / (T_r - T_l)) / (rho - g * T_b / (T_r - T_l)).
+
+With the paper's constants the numerator coefficient is ~107 words per
+unit ``g`` and the density coefficient ~0.24, giving Table 1.  The two
+observations the paper draws -- that ``T_b / (T_r - T_l)`` is the single
+most important architectural ratio, and that overhead reduction
+proportionally shrinks the minimum page size -- fall straight out of the
+formula and are exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machine.params import MachineParams
+
+#: the (rho, g) grid of the paper's Table 1
+TABLE1_RHOS = (0.17, 0.24, 0.35, 0.48, 0.60, 0.75, 1.0, 1.5, 2.0)
+TABLE1_GS = (0.5, 1.0, 2.0)
+
+#: Table 1 exactly as published ("never" encoded as None)
+TABLE1_PUBLISHED: dict[float, tuple[Optional[int], ...]] = {
+    0.17: (1070, None, None),
+    0.24: (445, None, None),
+    0.35: (232, 973, None),
+    0.48: (149, 435, None),
+    0.60: (111, 298, 1784),
+    0.75: (85, 210, 793),
+    1.0: (61, 141, 412),
+    1.5: (39, 84, 210),
+    2.0: (28, 61, 141),
+}
+
+
+def g_round_robin(p: int) -> float:
+    """g(p) under strict round-robin access: p/(p-1); the worst case is
+    two processors alternating (g=2); large p approaches 1."""
+    if p < 2:
+        raise ValueError("round-robin sharing needs at least 2 processors")
+    return p / (p - 1)
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """The section 4.1 model with explicit constants (all ns / words)."""
+
+    t_local: float
+    t_remote: float
+    t_block: float
+    fixed_overhead: float
+
+    @classmethod
+    def from_params(
+        cls, params: MachineParams, fixed_overhead: Optional[float] = None
+    ) -> "MigrationCostModel":
+        """Derive the model from machine parameters.
+
+        The paper uses ~0.48 ms for ``F``: the worst-case fixed overhead
+        of a migration (remote kernel data plus a one-target shootdown).
+        """
+        if fixed_overhead is None:
+            fixed_overhead = (
+                params.fault_fixed_remote
+                + params.shootdown_first
+                + params.page_free
+            )
+        return cls(
+            t_local=params.t_local,
+            t_remote=params.t_remote_read,
+            t_block=params.t_block_word,
+            fixed_overhead=fixed_overhead,
+        )
+
+    @classmethod
+    def paper_constants(cls) -> "MigrationCostModel":
+        """Constants matching the published Table 1: coefficient 107
+        words per unit g and density coefficient 0.24."""
+        t_local, t_remote = 320.0, 4900.0  # "about 5000 ns"
+        span = t_remote - t_local
+        return cls(
+            t_local=t_local,
+            t_remote=t_remote,
+            t_block=0.2402 * span,  # ~1100 ns
+            fixed_overhead=106.7 * span,  # ~0.49 ms
+        )
+
+    # -- the model ----------------------------------------------------------
+
+    @property
+    def span(self) -> float:
+        """Time saved per reference by being local: T_r - T_l."""
+        return self.t_remote - self.t_local
+
+    @property
+    def density_coefficient(self) -> float:
+        """T_b / (T_r - T_l): the paper's most important architectural
+        ratio; it lower-bounds the density at which migration can ever
+        pay (paper: ~0.24)."""
+        return self.t_block / self.span
+
+    @property
+    def numerator_coefficient(self) -> float:
+        """F / (T_r - T_l), in words per unit g (paper: ~107)."""
+        return self.fixed_overhead / self.span
+
+    def remote_cost(self, s: float, rho: float) -> float:
+        return rho * s * self.t_remote
+
+    def local_cost(self, s: float, rho: float) -> float:
+        return rho * s * self.t_local
+
+    def migrate_cost(self, s: float) -> float:
+        return s * self.t_block + self.fixed_overhead
+
+    def migration_pays(self, s: float, rho: float, g: float) -> bool:
+        """Inequality 1: is moving the data cheaper than remote access?"""
+        return self.remote_cost(s, rho) > (
+            g * self.migrate_cost(s) + self.local_cost(s, rho)
+        )
+
+    def min_density(self, g: float) -> float:
+        """The density below which no page size makes migration pay."""
+        return g * self.density_coefficient
+
+    def s_min(self, rho: float, g: float) -> Optional[float]:
+        """Inequality 2: minimum page size (words) for migration to pay,
+        or None ("never") when the density is too low."""
+        if rho <= 0 or g <= 0:
+            raise ValueError("rho and g must be positive")
+        denom = rho - self.min_density(g)
+        if denom <= 0:
+            return None
+        return g * self.numerator_coefficient / denom
+
+    def table1(self) -> dict[float, tuple[Optional[int], ...]]:
+        """Regenerate Table 1 on this model's constants."""
+        table: dict[float, tuple[Optional[int], ...]] = {}
+        for rho in TABLE1_RHOS:
+            row = []
+            for g in TABLE1_GS:
+                s = self.s_min(rho, g)
+                row.append(None if s is None else int(round(s)))
+            table[rho] = tuple(row)
+        return table
+
+    def format_table1(self) -> str:
+        """Render Table 1 in the paper's layout."""
+        lines = [
+            "Table 1: minimum page size S_min (words) for migration to pay",
+            f"  (T_b/(T_r-T_l) = {self.density_coefficient:.3f}, "
+            f"F/(T_r-T_l) = {self.numerator_coefficient:.1f} words)",
+            "",
+            f"  {'rho':>5} | {'g=0.5':>7} {'g=1':>7} {'g=2':>7}",
+            "  " + "-" * 33,
+        ]
+        for rho, row in self.table1().items():
+            cells = " ".join(
+                f"{'never' if v is None else v:>7}" for v in row
+            )
+            lines.append(f"  {rho:>5} | {cells}")
+        return "\n".join(lines)
+
+
+def crossover_validation(
+    model: MigrationCostModel, rho: float, g: float, s: int
+) -> dict[str, float]:
+    """The three costs of section 4.1 at one design point (for reports)."""
+    return {
+        "remote": model.remote_cost(s, rho),
+        "migrate_then_local": g * model.migrate_cost(s)
+        + model.local_cost(s, rho),
+        "local_only": model.local_cost(s, rho),
+    }

@@ -1,0 +1,141 @@
+"""Trace-driven visualization (the section 9 instrumentation goal).
+
+Turns a run's protocol trace and machine counters into terminal
+visualizations: a per-processor activity profile (how each processor's
+time divides into local access, remote access, queueing and interrupt
+handling), a page-heat table (protocol events per Cpage over time), and
+an event-rate strip showing when the protocol was busiest.
+
+These complement the per-Cpage post-mortem report: the report says *what
+happened to each page*; these show *where the time went* and *when*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from ..core.trace import EventKind, ProtocolTracer
+from ..kernel.kernel import Kernel
+from .report import format_table
+
+#: glyph ramp for heat strips, coldest to hottest
+RAMP = " .:-=+*#%@"
+
+
+def _strip(values: list[float], width: Optional[int] = None) -> str:
+    """Render a list of magnitudes as a one-line heat strip."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    out = []
+    for v in values[: width or len(values)]:
+        idx = int(round(v / peak * (len(RAMP) - 1)))
+        out.append(RAMP[idx])
+    return "".join(out)
+
+
+def processor_profile(kernel: Kernel) -> str:
+    """Where each processor's memory time went (local vs remote words,
+    queueing, interrupts taken)."""
+    machine = kernel.machine
+    p = machine.params
+    rows = []
+    for proc in range(p.n_processors):
+        local_ns = int(machine.local_words[proc]) * p.t_local
+        remote_ns = int(machine.remote_words[proc]) * p.t_remote_read
+        queue_ns = int(machine.queue_delay_ns[proc])
+        ipis = machine.interrupts.state[proc].ipis_received
+        rows.append([
+            f"cpu{proc}",
+            int(machine.local_words[proc]),
+            int(machine.remote_words[proc]),
+            f"{local_ns / 1e6:.2f}",
+            f"{remote_ns / 1e6:.2f}",
+            f"{queue_ns / 1e6:.2f}",
+            ipis,
+        ])
+    return format_table(
+        ["processor", "local words", "remote words", "local ms",
+         "remote ms", "queued ms", "IPIs taken"],
+        rows,
+        title="per-processor memory profile",
+    )
+
+
+def page_heat(
+    tracer: ProtocolTracer,
+    kernel: Kernel,
+    bins: int = 50,
+    top: int = 10,
+) -> str:
+    """Protocol-event heat strips for the hottest Cpages over time.
+
+    Requires tracing to have been enabled for the run
+    (``make_kernel(trace=True)``).
+    """
+    if not tracer.events:
+        return "(no trace events; enable tracing with trace=True)"
+    events = tracer.ordered()
+    t_end = max(e.time for e in events) or 1
+    by_page = Counter(
+        e.cpage_index for e in events if e.cpage_index is not None
+    )
+    hottest = [idx for idx, _ in by_page.most_common(top)]
+    lines = [
+        f"protocol-event heat by Cpage ({bins} bins over "
+        f"{t_end / 1e6:.1f} ms; ramp '{RAMP}')"
+    ]
+    for idx in hottest:
+        series = [0.0] * bins
+        for event in events:
+            if event.cpage_index != idx:
+                continue
+            slot = min(bins - 1, int(event.time / (t_end + 1) * bins))
+            series[slot] += 1
+        label = kernel.coherent.cpages.get(idx).label or f"cpage{idx}"
+        lines.append(
+            f"  {label[:16]:<16} |{_strip(series)}| "
+            f"{by_page[idx]} events"
+        )
+    return "\n".join(lines)
+
+
+def event_rate(tracer: ProtocolTracer, bins: int = 60) -> str:
+    """One strip per event kind: when was the protocol doing what."""
+    if not tracer.events:
+        return "(no trace events)"
+    events = tracer.ordered()
+    t_end = max(e.time for e in events) or 1
+    lines = [
+        f"protocol activity over time ({bins} bins over "
+        f"{t_end / 1e6:.1f} ms)"
+    ]
+    for kind in EventKind:
+        series = [0.0] * bins
+        count = 0
+        for event in events:
+            if event.kind is not kind:
+                continue
+            slot = min(bins - 1, int(event.time / (t_end + 1) * bins))
+            series[slot] += 1
+            count += 1
+        if count:
+            lines.append(
+                f"  {kind.value:<12} |{_strip(series)}| {count}"
+            )
+    return "\n".join(lines)
+
+
+def run_dashboard(kernel: Kernel) -> str:
+    """Everything at once: profile, heat, rates, and the post-mortem."""
+    sections = [
+        processor_profile(kernel),
+        "",
+        event_rate(kernel.tracer),
+        "",
+        page_heat(kernel.tracer, kernel),
+        "",
+        kernel.report().format(max_rows=10),
+    ]
+    return "\n".join(sections)

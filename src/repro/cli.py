@@ -1,0 +1,284 @@
+"""Command-line interface: run PLATINUM experiments from a shell.
+
+::
+
+    python -m repro table1                 # the section 4.1 table
+    python -m repro transitions            # the Figure 4 diagram
+    python -m repro micro                  # section 4 microbenchmarks
+    python -m repro gauss -n 128 -p 8      # one Gauss run + post-mortem
+    python -m repro speedup gauss -n 200   # a Figure 1-style curve
+    python -m repro speedup mergesort
+    python -m repro speedup neural
+    python -m repro compare -n 400         # the section 5.1 three systems
+    python -m repro trace -n 48 -p 4       # a traced run's protocol log
+
+All output is plain text on stdout; every command is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    MigrationCostModel,
+    ascii_plot,
+    format_table,
+    measure_speedup,
+)
+from .baselines import (
+    SMPGauss,
+    UniformSystemGauss,
+    smp_kernel,
+    uniform_system_kernel,
+)
+from .core import format_table as format_transitions
+from .runtime import make_kernel, run_program
+from .workloads import (
+    GaussianElimination,
+    JacobiSOR,
+    MatrixMultiply,
+    MergeSort,
+    NeuralNetSimulator,
+)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    model = (
+        MigrationCostModel.paper_constants()
+        if args.paper_constants
+        else MigrationCostModel.from_params(
+            make_kernel(n_processors=2).params
+        )
+    )
+    print(model.format_table1())
+    return 0
+
+
+def _cmd_transitions(args: argparse.Namespace) -> int:
+    print(format_transitions())
+    return 0
+
+
+def _cmd_micro(args: argparse.Namespace) -> int:
+    from .analysis import compare_to_paper
+    from .workloads import (
+        measure_page_copy,
+        measure_read_miss_clean,
+        measure_read_miss_modified,
+        measure_shootdown_increment,
+        measure_write_miss_present_plus,
+    )
+
+    ms = 1e6
+    print("section 4 microbenchmarks (paper range vs measured)")
+    print(compare_to_paper("block transfer, one 4KB page",
+                           measure_page_copy() / ms, 1.11, unit=" ms"))
+    print(compare_to_paper("read miss, replicate non-modified",
+                           measure_read_miss_clean(True) / ms,
+                           1.34, 1.38, unit=" ms"))
+    print(compare_to_paper("read miss, replicate modified",
+                           measure_read_miss_modified(True) / ms,
+                           1.38, 1.59, unit=" ms"))
+    print(compare_to_paper("write miss on present+",
+                           measure_write_miss_present_plus() / ms,
+                           0.25, 0.45, unit=" ms"))
+    costs = measure_shootdown_increment(8)
+    inc = max(b - a for a, b in zip(costs, costs[1:])) / 1e3
+    print(compare_to_paper("incremental cost per extra cpu", inc,
+                           0.0, 17.0, unit=" us"))
+    return 0
+
+
+def _make_program(name: str, args: argparse.Namespace, p: int):
+    if name == "gauss":
+        return GaussianElimination(
+            n=args.n, n_threads=p, verify_result=args.verify
+        )
+    if name == "mergesort":
+        return MergeSort(n=args.n, n_threads=p,
+                         verify_result=args.verify)
+    if name == "neural":
+        return NeuralNetSimulator(epochs=args.epochs, n_threads=p)
+    if name == "jacobi":
+        return JacobiSOR(n=args.n, iterations=args.epochs, n_threads=p,
+                         verify_result=args.verify)
+    if name == "matmul":
+        return MatrixMultiply(n=args.n, n_threads=p,
+                              verify_result=args.verify)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kernel = make_kernel(n_processors=args.machine, trace=args.trace)
+    program = _make_program(args.workload, args, args.p)
+    result = run_program(kernel, program)
+    print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
+          f"on {args.p} of {args.machine} processors")
+    print()
+    print(result.report.format(max_rows=args.rows))
+    if args.trace:
+        print()
+        print(kernel.tracer.timeline(limit=args.rows * 2))
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from .analysis import run_dashboard
+
+    kernel = make_kernel(n_processors=args.machine, trace=True)
+    program = _make_program(args.workload, args, args.p)
+    run_program(kernel, program)
+    print(run_dashboard(kernel))
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    counts = [int(c) for c in args.counts.split(",")]
+    curve = measure_speedup(
+        lambda p: _make_program(args.workload, args, p),
+        processor_counts=counts,
+        machine_processors=args.machine,
+        label=f"{args.workload}",
+    )
+    print(curve.format())
+    print()
+    print(ascii_plot(
+        curve.processors,
+        {"measured": curve.speedups,
+         "ideal": [float(p) for p in curve.processors]},
+        title=f"{args.workload} speedup vs processors",
+        y_label="speedup",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = {
+        "PLATINUM": (
+            lambda: make_kernel(n_processors=args.machine),
+            lambda p: GaussianElimination(n=args.n, n_threads=p,
+                                          verify_result=False),
+        ),
+        "Uniform System": (
+            lambda: uniform_system_kernel(args.machine),
+            lambda p: UniformSystemGauss(n=args.n, n_threads=p,
+                                         verify_result=False),
+        ),
+        "SMP": (
+            lambda: smp_kernel(args.machine),
+            lambda p: SMPGauss(n=args.n, n_threads=p,
+                               verify_result=False),
+        ),
+    }
+    rows = []
+    for name, (kf, pf) in systems.items():
+        times = {}
+        for p in (1, args.machine):
+            times[p] = run_program(kf(), pf(p)).sim_time_ns
+        rows.append([
+            name,
+            f"{times[1] / times[args.machine]:.2f}",
+            f"{times[1] / 1e9:.2f}",
+            f"{times[args.machine] / 1e9:.3f}",
+        ])
+    print(format_table(
+        ["system", f"speedup@{args.machine}", "T1 (s)",
+         f"T{args.machine} (s)"],
+        rows,
+        title=f"Gauss {args.n}x{args.n} by programming system "
+        "(paper section 5.1)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLATINUM (SOSP 1989) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="the section 4.1 cost-model table")
+    t1.add_argument("--machine-constants", dest="paper_constants",
+                    action="store_false",
+                    help="derive constants from the simulated machine "
+                    "instead of the paper's")
+    t1.set_defaults(fn=_cmd_table1)
+
+    tr = sub.add_parser("transitions",
+                        help="the Figure 4 protocol diagram")
+    tr.set_defaults(fn=_cmd_transitions)
+
+    mi = sub.add_parser("micro", help="section 4 microbenchmarks")
+    mi.set_defaults(fn=_cmd_micro)
+
+    def workload_args(p, default_n):
+        p.add_argument("-n", type=int, default=default_n,
+                       help="problem size")
+        p.add_argument("-p", type=int, default=8,
+                       help="threads to use")
+        p.add_argument("--machine", type=int, default=16,
+                       help="processors in the simulated machine")
+        p.add_argument("--epochs", type=int, default=25,
+                       help="training epochs (neural only)")
+        p.add_argument("--no-verify", dest="verify",
+                       action="store_false",
+                       help="skip the end-to-end result check")
+
+    for name, default_n in (("gauss", 64), ("mergesort", 16384),
+                            ("neural", 40), ("jacobi", 48),
+                            ("matmul", 48)):
+        rp = sub.add_parser(name, help=f"run {name} and print the "
+                            "post-mortem report")
+        workload_args(rp, default_n)
+        rp.add_argument("--trace", action="store_true",
+                        help="record and print the protocol trace")
+        rp.add_argument("--rows", type=int, default=15,
+                        help="report rows to print")
+        rp.set_defaults(fn=_cmd_run, workload=name)
+
+    db = sub.add_parser(
+        "dashboard",
+        help="run a workload traced and print the full visualization "
+        "dashboard",
+    )
+    db.add_argument(
+        "workload",
+        choices=("gauss", "mergesort", "neural", "jacobi", "matmul"),
+    )
+    workload_args(db, 48)
+    db.set_defaults(fn=_cmd_dashboard, verify=False)
+
+    sp = sub.add_parser("speedup", help="measure a speedup curve")
+    sp.add_argument(
+        "workload",
+        choices=("gauss", "mergesort", "neural", "jacobi", "matmul"),
+    )
+    workload_args(sp, 200)
+    sp.add_argument("--counts", default="1,2,4,8,16",
+                    help="comma-separated processor counts")
+    sp.set_defaults(fn=_cmd_speedup, verify=False)
+
+    cp = sub.add_parser("compare",
+                        help="the section 5.1 three-system comparison")
+    cp.add_argument("-n", type=int, default=400, help="matrix size")
+    cp.add_argument("--machine", type=int, default=16)
+    cp.set_defaults(fn=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""The coherent memory system facade.
+
+Owns the Cpage table, the per-address-space Cmaps, the shootdown mechanism,
+the fault handler, the replication policy and the defrost daemon -- the
+whole middle layer of the PLATINUM memory system (paper section 2).  The
+virtual memory layer above maps virtual ranges to Cpages through this
+facade; the processor execution layer below delivers faults to it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.machine import Machine
+from ..machine.pmap import Rights
+from .cmap import Cmap, CmapEntry
+from .cpage import Cpage, CpageTable
+from .defrost import DefrostDaemon
+from .fault import CoherentFaultHandler, FaultResult
+from .instrumentation import MemoryReport, build_report
+from .policy import ReplicationPolicy, TimestampFreezePolicy
+from .shootdown import ShootdownMechanism
+from .trace import ProtocolTracer
+
+
+class CoherentMemorySystem:
+    """PLATINUM's coherent memory layer, assembled."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: Optional[ReplicationPolicy] = None,
+        defrost_enabled: bool = True,
+        defrost_period: Optional[float] = None,
+        trace: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.policy = (
+            policy
+            if policy is not None
+            else TimestampFreezePolicy(machine.params.t1_freeze_window)
+        )
+        self.tracer = ProtocolTracer(enabled=trace)
+        self.cpages = CpageTable(machine.params.n_modules)
+        self.cmaps: dict[int, Cmap] = {}
+        self.shootdown = ShootdownMechanism(machine, tracer=self.tracer)
+        self.fault_handler = CoherentFaultHandler(
+            machine, self.shootdown, self.policy, tracer=self.tracer
+        )
+        self.defrost = DefrostDaemon(
+            machine, self.shootdown, self.policy, period=defrost_period,
+            tracer=self.tracer,
+        )
+        if defrost_enabled:
+            self.defrost.start()
+        #: when True, remote accesses through established mappings are
+        #: counted per (Cpage, processor) -- the simulated 'hardware
+        #: reference counts' that competitive placement (section 8)
+        #: depends on.  PLATINUM itself leaves this off.
+        self.reference_counting = False
+
+    # -- Cmap / mapping management (called by the VM layer) --------------------
+
+    def cmap_for(self, aspace_id: int, create: bool = False) -> Optional[Cmap]:
+        cmap = self.cmaps.get(aspace_id)
+        if cmap is None and create:
+            cmap = Cmap(aspace_id, self.machine.params.n_processors)
+            self.cmaps[aspace_id] = cmap
+        return cmap
+
+    def map_page(
+        self, aspace_id: int, vpage: int, cpage: Cpage, rights: Rights
+    ) -> CmapEntry:
+        """Record that ``vpage`` of the address space maps ``cpage``."""
+        cmap = self.cmap_for(aspace_id, create=True)
+        assert cmap is not None
+        return cmap.enter(vpage, cpage, rights)
+
+    def unmap_page(self, aspace_id: int, vpage: int, initiator: int) -> None:
+        """Remove a mapping, shooting down any hardware translations."""
+        cmap = self.cmaps.get(aspace_id)
+        if cmap is None:
+            return
+        from .cmap import Directive  # local import to avoid cycle noise
+
+        self.shootdown.shoot_vpages(
+            cmap, [vpage], Directive.INVALIDATE, initiator,
+            self.machine.engine.now,
+        )
+        cmap.remove(vpage)
+
+    # -- activation --------------------------------------------------------------
+
+    def activate(self, aspace_id: int, proc: int) -> float:
+        """Mark the address space active on ``proc``; apply queued Cmap
+        messages.  Returns the kernel time spent applying them."""
+        cmap = self.cmap_for(aspace_id, create=True)
+        assert cmap is not None
+        _, cost = self.shootdown.apply_pending(cmap, proc)
+        cmap.activate(proc)
+        pmap = cmap.pmap_for(proc, create=True)
+        mmu = self.machine.mmus[proc]
+        if mmu.pmap_for(aspace_id) is None:
+            mmu.attach_pmap(pmap)
+        return cost
+
+    def deactivate(self, aspace_id: int, proc: int) -> None:
+        cmap = self.cmaps.get(aspace_id)
+        if cmap is not None:
+            cmap.deactivate(proc)
+
+    # -- faults --------------------------------------------------------------------
+
+    def fault(
+        self, proc: int, aspace_id: int, vpage: int, write: bool, now: int
+    ) -> FaultResult:
+        cmap = self.cmaps.get(aspace_id)
+        if cmap is None:
+            raise KeyError(f"unknown address space {aspace_id}")
+        return self.fault_handler.handle(proc, cmap, vpage, write, now)
+
+    def note_remote_access(
+        self, cpage_index: int, proc: int, n_words: int
+    ) -> None:
+        """Record remote traffic to a page (reference-count hardware)."""
+        cpage = self.cpages.get(cpage_index)
+        cpage.stats.remote_access_words += n_words
+        cpage.remote_counts[proc] = (
+            cpage.remote_counts.get(proc, 0) + n_words
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    def report(self) -> MemoryReport:
+        return build_report(
+            self.cpages, self.machine, shootdowns=self.shootdown.shootdowns
+        )
+
+    def check_invariants(self) -> None:
+        """Verify every protocol invariant; raises CoherencyError."""
+        self.cpages.check_invariants()
+        self._check_reference_masks()
+        self._check_frames_registered()
+
+    def _check_reference_masks(self) -> None:
+        """Every live hardware translation must be covered by a reference-
+        mask bit, and every translation must point at a directory frame."""
+        from .cpage import CoherencyError
+
+        for cmap in self.cmaps.values():
+            for proc, pmap in cmap.pmaps().items():
+                pending = {
+                    m.vpage for m in cmap.pending_for(proc)
+                }
+                for pentry in pmap.entries():
+                    entry = cmap.entries.get(pentry.vpage)
+                    if entry is None:
+                        raise CoherencyError(
+                            f"cpu{proc} maps unmapped vpage {pentry.vpage} "
+                            f"in aspace {cmap.aspace_id}"
+                        )
+                    if pentry.vpage in pending:
+                        continue  # stale by design until activation
+                    if not entry.has_ref(proc):
+                        raise CoherencyError(
+                            f"cpu{proc} translation for vpage {pentry.vpage} "
+                            "not covered by the reference mask"
+                        )
+                    cpage = entry.cpage
+                    if cpage.frame_at(pentry.frame.module_index) is not (
+                        pentry.frame
+                    ):
+                        raise CoherencyError(
+                            f"cpu{proc} vpage {pentry.vpage} maps "
+                            f"{pentry.frame!r}, not in {cpage!r} directory"
+                        )
+                    if pentry.rights.allows(True) and not (
+                        cpage.has_write_mapping
+                    ):
+                        raise CoherencyError(
+                            f"write translation for {cpage!r} but "
+                            "has_write_mapping is false"
+                        )
+
+    def _check_frames_registered(self) -> None:
+        """Every directory frame must be allocated to its Cpage in the
+        owning module's inverted page table."""
+        from .cpage import CoherencyError
+
+        for cpage in self.cpages:
+            for module, frame in cpage.frames.items():
+                ipt = self.machine.ipt_of(module)
+                if ipt.owner_of(frame) != cpage.index:
+                    raise CoherencyError(
+                        f"{frame!r} backs {cpage!r} but the inverted page "
+                        f"table says cpage {ipt.owner_of(frame)}"
+                    )

@@ -1,0 +1,162 @@
+"""Kernel memory-management instrumentation.
+
+Paper section 4.2: "In addition to timing data, the kernel produces a
+detailed report on the behavior of memory management.  For each Cpage this
+includes the number of coherent memory faults, a measure of contention in
+the Cpage fault handler for that page, and whether the Cpage was frozen by
+the replication policy."  That report is what let the authors diagnose the
+frozen spin-lock page in the Gaussian elimination program; the examples in
+``examples/gauss_tuning.py`` replay that diagnosis with this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.machine import Machine
+from .cpage import Cpage, CpageTable
+
+
+@dataclass
+class CpageReportRow:
+    """One Cpage's post-mortem statistics."""
+
+    index: int
+    label: str
+    state: str
+    faults: int
+    read_faults: int
+    write_faults: int
+    replications: int
+    migrations: int
+    invalidations: int
+    remote_mappings: int
+    handler_wait_ms: float
+    frozen: bool
+    was_frozen: bool
+
+    @classmethod
+    def of(cls, cpage: Cpage) -> "CpageReportRow":
+        s = cpage.stats
+        return cls(
+            index=cpage.index,
+            label=cpage.label,
+            state=cpage.state.value,
+            faults=s.faults,
+            read_faults=s.read_faults,
+            write_faults=s.write_faults,
+            replications=s.replications,
+            migrations=s.migrations,
+            invalidations=s.invalidations,
+            remote_mappings=s.remote_mappings,
+            handler_wait_ms=s.handler_wait_ns / 1e6,
+            frozen=cpage.frozen,
+            was_frozen=s.freezes > 0,
+        )
+
+
+@dataclass
+class MemoryReport:
+    """Whole-system post-mortem memory-management report."""
+
+    rows: list[CpageReportRow]
+    sim_time_ms: float
+    local_words: int
+    remote_words: int
+    queue_delay_ms: float
+    ipis: int
+    shootdowns: int
+    transfers: int
+    #: busy fraction per memory-module bus and switch port
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.faults for r in self.rows)
+
+    @property
+    def frozen_pages(self) -> list[CpageReportRow]:
+        return [r for r in self.rows if r.frozen]
+
+    @property
+    def ever_frozen_pages(self) -> list[CpageReportRow]:
+        return [r for r in self.rows if r.was_frozen]
+
+    def hottest(self, n: int = 10) -> list[CpageReportRow]:
+        """The Cpages with the most fault-handler contention."""
+        return sorted(
+            self.rows, key=lambda r: r.handler_wait_ms, reverse=True
+        )[:n]
+
+    def busiest_resources(self, n: int = 5) -> list[tuple[str, float]]:
+        """The most-contended memory/switch resources (paper section 7:
+        contention for modules and the switch dominates at scale)."""
+        return sorted(
+            self.utilization.items(), key=lambda kv: kv[1], reverse=True
+        )[:n]
+
+    def format(self, max_rows: int = 20, only_active: bool = True) -> str:
+        """Render a paper-style post-mortem text report."""
+        lines = [
+            "memory management post-mortem",
+            f"  simulated time: {self.sim_time_ms:.3f} ms",
+            f"  coherent faults: {self.total_faults}   "
+            f"shootdowns: {self.shootdowns}   IPIs: {self.ipis}   "
+            f"page transfers: {self.transfers}",
+            f"  words accessed: {self.local_words} local, "
+            f"{self.remote_words} remote",
+            f"  memory queueing delay: {self.queue_delay_ms:.3f} ms",
+            "",
+            f"  {'cpage':>6} {'label':<18} {'state':<9} {'faults':>7} "
+            f"{'repl':>5} {'migr':>5} {'inval':>6} {'rmaps':>6} "
+            f"{'wait ms':>8} frozen",
+        ]
+        rows = self.rows
+        if only_active:
+            rows = [r for r in rows if r.faults > 0]
+        rows = sorted(rows, key=lambda r: r.faults, reverse=True)
+        for row in rows[:max_rows]:
+            froz = "yes" if row.frozen else (
+                "was" if row.was_frozen else ""
+            )
+            lines.append(
+                f"  {row.index:>6} {row.label[:18]:<18} {row.state:<9} "
+                f"{row.faults:>7} {row.replications:>5} "
+                f"{row.migrations:>5} {row.invalidations:>6} "
+                f"{row.remote_mappings:>6} {row.handler_wait_ms:>8.3f} "
+                f"{froz}"
+            )
+        if len(rows) > max_rows:
+            lines.append(f"  ... and {len(rows) - max_rows} more Cpages")
+        busiest = [
+            (name, frac) for name, frac in self.busiest_resources()
+            if frac > 0.005
+        ]
+        if busiest:
+            lines.append("")
+            lines.append(
+                "  busiest hardware: "
+                + ", ".join(f"{n} {f:.0%}" for n, f in busiest)
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    cpage_table: CpageTable,
+    machine: Machine,
+    shootdowns: int = 0,
+) -> MemoryReport:
+    """Assemble the post-mortem report for a finished run."""
+    rows = [CpageReportRow.of(cp) for cp in cpage_table]
+    totals = machine.interrupts.totals()
+    return MemoryReport(
+        rows=rows,
+        sim_time_ms=machine.now / 1e6,
+        local_words=int(machine.local_words.sum()),
+        remote_words=int(machine.remote_words.sum()),
+        queue_delay_ms=float(machine.queue_delay_ns.sum()) / 1e6,
+        ipis=totals["ipis_received"],
+        shootdowns=shootdowns,
+        transfers=machine.xfer.transfer_count,
+        utilization=machine.utilization_report(),
+    )

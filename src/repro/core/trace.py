@@ -1,0 +1,154 @@
+"""Protocol event tracing.
+
+Paper section 9: "An important part of this will be the installation of
+instrumentation for performance monitoring, analysis, and visualization
+... useful to application programmers, compiler writers, and system
+implementors."  This module is that instrumentation interface: when
+enabled, every protocol action -- faults with their transitions,
+shootdowns, block transfers, freezes, thaws, defrost runs -- is recorded
+as a timestamped event that can be queried and rendered as a per-page
+timeline.
+
+Tracing is off by default (it retains every event in memory); enable it
+per kernel with ``make_kernel(trace=True)`` or
+``kernel.coherent.tracer.enable()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.Enum):
+    FAULT = "fault"
+    SHOOTDOWN = "shootdown"
+    TRANSFER = "transfer"
+    FREEZE = "freeze"
+    THAW = "thaw"
+    DEFROST_RUN = "defrost_run"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped protocol action."""
+
+    time: int
+    kind: EventKind
+    cpage_index: Optional[int]
+    processor: Optional[int]
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        where = (
+            f"cpage {self.cpage_index}" if self.cpage_index is not None
+            else "-"
+        )
+        who = f"cpu{self.processor}" if self.processor is not None else ""
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"{self.time / 1e6:12.3f} ms  {self.kind.value:<11} "
+            f"{where:<10} {who:<6} {detail}"
+        )
+
+
+class ProtocolTracer:
+    """Collects protocol events; disabled tracers cost one branch."""
+
+    def __init__(self, enabled: bool = False, max_events: int = 1_000_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def record(
+        self,
+        time: int,
+        kind: EventKind,
+        cpage_index: Optional[int] = None,
+        processor: Optional[int] = None,
+        **detail: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(time, kind, cpage_index, processor, detail)
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def ordered(self) -> list[TraceEvent]:
+        """All events sorted by timestamp.
+
+        Recording order can differ slightly: a fault event is stamped
+        with the fault's start time but recorded after the block
+        transfers it performed, which are stamped mid-handler.
+        """
+        return sorted(self.events, key=lambda e: e.time)
+
+    def by_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.ordered() if e.kind is kind]
+
+    def by_cpage(self, cpage_index: int) -> list[TraceEvent]:
+        return [e for e in self.ordered() if e.cpage_index == cpage_index]
+
+    def by_processor(self, processor: int) -> list[TraceEvent]:
+        return [e for e in self.ordered() if e.processor == processor]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        return [e for e in self.ordered() if start <= e.time < end]
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(e.kind.value for e in self.events))
+
+    # -- rendering ------------------------------------------------------------------
+
+    def timeline(
+        self, cpage_index: Optional[int] = None, limit: int = 50
+    ) -> str:
+        """A readable event timeline, optionally for one Cpage."""
+        events = (
+            self.by_cpage(cpage_index)
+            if cpage_index is not None
+            else self.ordered()
+        )
+        header = (
+            f"protocol trace ({len(events)} events"
+            + (f" for cpage {cpage_index}" if cpage_index is not None
+               else "")
+            + (f", showing first {limit}" if len(events) > limit else "")
+            + ")"
+        )
+        lines = [header]
+        lines.extend(e.describe() for e in events[:limit])
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped at the cap")
+        return "\n".join(lines)
+
+    def transitions_of(self, cpage_index: int) -> list[tuple[str, str]]:
+        """The (from_state, to_state) sequence one page went through."""
+        out = []
+        for event in self.by_cpage(cpage_index):
+            if event.kind is EventKind.FAULT:
+                out.append(
+                    (event.detail.get("from"), event.detail.get("to"))
+                )
+        return out

@@ -1,0 +1,28 @@
+"""The PLATINUM kernel: virtual memory, threads, ports, and the fault path
+gluing them to the coherent memory system."""
+
+from .kernel import Kernel
+from .ports import Message, Port, PortNamespace
+from .threads import Thread, ThreadManager, ThreadState
+from .vm import (
+    AddressError,
+    AddressSpace,
+    Binding,
+    MemoryObject,
+    VirtualMemorySystem,
+)
+
+__all__ = [
+    "AddressError",
+    "AddressSpace",
+    "Binding",
+    "Kernel",
+    "MemoryObject",
+    "Message",
+    "Port",
+    "PortNamespace",
+    "Thread",
+    "ThreadManager",
+    "ThreadState",
+    "VirtualMemorySystem",
+]

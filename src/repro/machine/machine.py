@@ -1,0 +1,146 @@
+"""The assembled NUMA machine.
+
+Ties together the event engine, memory modules, interconnect topology,
+per-processor MMUs, block-transfer engine and interrupt controller, and
+provides the single access-costing primitive every higher layer uses:
+:meth:`Machine.access`.
+
+Cost model for a batched access of ``n`` words from node ``src`` to a frame
+in module ``dst`` (see DESIGN.md section 5):
+
+* every switch port on the route is occupied for ``n * t_switch_service``;
+* the destination module's bus is occupied for ``n * t_module_service``;
+* the requester additionally pays the per-word wire/protocol latency so
+  that, on an idle machine, the total is exactly ``n * T_l`` for local
+  accesses and ``n * T_r`` for remote ones -- the paper's measured numbers.
+
+Queueing at any shared resource adds delay on top, which is how memory and
+switch contention (paper sections 1 and 7) arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sim.engine import Engine
+from .blockxfer import BlockTransferEngine
+from .interrupts import InterruptController
+from .memory import Frame, MemoryModule
+from .mmu import MMU
+from .params import MachineParams
+from .pmap import InvertedPageTable
+from .topology import Topology, make_topology
+
+
+@dataclass
+class AccessOutcome:
+    """Result of costing one batched access."""
+
+    completion: int
+    queue_delay: int
+    remote: bool
+    words: int
+
+
+class Machine:
+    """A simulated NUMA multiprocessor."""
+
+    def __init__(
+        self, params: MachineParams, engine: Optional[Engine] = None
+    ) -> None:
+        self.params = params.validated()
+        self.engine = engine if engine is not None else Engine()
+        self.modules = [
+            MemoryModule(i, self.params) for i in range(self.params.n_modules)
+        ]
+        self.ipts = [InvertedPageTable(m) for m in self.modules]
+        self.topology: Topology = make_topology(self.params)
+        self.mmus = [
+            MMU(i, self.params) for i in range(self.params.n_processors)
+        ]
+        self.xfer = BlockTransferEngine(
+            self.engine, self.params, self.modules
+        )
+        self.interrupts = InterruptController(self.params)
+        # per-processor accounting of how simulated time was spent
+        self.local_words = np.zeros(self.params.n_processors, dtype=np.int64)
+        self.remote_words = np.zeros(self.params.n_processors, dtype=np.int64)
+        self.queue_delay_ns = np.zeros(
+            self.params.n_processors, dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.params.n_processors}p "
+            f"{self.topology.describe()}>"
+        )
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def module_of(self, frame: Frame) -> MemoryModule:
+        return self.modules[frame.module_index]
+
+    def ipt_of(self, node: int) -> InvertedPageTable:
+        return self.ipts[node]
+
+    def access(
+        self,
+        src_node: int,
+        frame: Frame,
+        n_words: int,
+        write: bool,
+        now: int,
+    ) -> AccessOutcome:
+        """Cost a batched ``n_words``-word access; no data movement here."""
+        if n_words <= 0:
+            raise ValueError(f"access of {n_words} words")
+        p = self.params
+        dst = frame.module_index
+        remote = src_node != dst
+        route = self.topology.route(src_node, dst) if remote else []
+        t = now
+        for port in route:
+            _, t = port.occupy(t, n_words * p.t_switch_service)
+        _, t = self.modules[dst].bus.occupy(t, n_words * p.t_module_service)
+        if remote:
+            t_word = p.t_remote_write if write else p.t_remote_read
+        else:
+            t_word = p.t_local
+        extra_per_word = max(
+            0.0,
+            t_word - p.t_module_service - len(route) * p.t_switch_service,
+        )
+        completion = int(round(t + n_words * extra_per_word))
+        service_floor = now + int(
+            round(
+                n_words
+                * (p.t_module_service + len(route) * p.t_switch_service)
+            )
+        )
+        queue_delay = max(0, t - service_floor)
+        if remote:
+            self.remote_words[src_node] += n_words
+        else:
+            self.local_words[src_node] += n_words
+        self.queue_delay_ns[src_node] += queue_delay
+        return AccessOutcome(
+            completion=completion,
+            queue_delay=queue_delay,
+            remote=remote,
+            words=n_words,
+        )
+
+    def utilization_report(self) -> dict[str, float]:
+        """Busy fractions of the memory-module buses and switch ports."""
+        now = max(1, self.now)
+        report = {
+            m.bus.name: m.bus.busy_time / now for m in self.modules
+        }
+        for res in self.topology.all_resources():
+            report[res.name] = res.busy_time / now
+        return report

@@ -1,0 +1,166 @@
+"""Interconnect topologies.
+
+The topology answers one question for the access-costing path: which shared
+switch resources does a remote reference from node ``src`` to module ``dst``
+pass through?  Contention is modelled by FIFO occupancy of those resources;
+the contention-free latency itself comes from the machine parameters
+(``t_remote_read``/``t_remote_write``), so with an idle network the paper's
+measured reference times are reproduced exactly.
+
+Three topologies are provided:
+
+* ``butterfly`` -- a multistage omega/butterfly network of ``arity``-way
+  switching elements, like the BBN Butterfly's 4x4 switch network.  The
+  resource used at stage ``s`` is the classic omega-routing output port
+  determined by the leading digits of the destination and trailing digits
+  of the source.
+* ``bus`` -- a single shared bus carrying all remote traffic (used by the
+  Sequent Symmetry baseline machine).
+* ``uniform`` -- no shared network resources; latency only.  Useful for
+  isolating protocol costs from network contention in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..sim.resource import FifoResource
+from .params import MachineParams
+
+
+class Topology(ABC):
+    """Maps (source node, destination module) to switch resources."""
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> list[FifoResource]:
+        """Switch resources a remote reference occupies, in order.
+
+        Local references (``src == dst``) use no network resources.
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+
+    def all_resources(self) -> list[FifoResource]:
+        """Every switch resource, for instrumentation."""
+        return []
+
+    def _check_nodes(self, src: int, dst: int) -> None:
+        n = self.params.n_processors
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"node out of range: src={src} dst={dst} n={n}")
+
+
+class UniformTopology(Topology):
+    """No network contention: remote references pay latency only."""
+
+    def route(self, src: int, dst: int) -> list[FifoResource]:
+        self._check_nodes(src, dst)
+        return []
+
+    def describe(self) -> str:
+        return "uniform (latency-only, no network contention)"
+
+
+class BusTopology(Topology):
+    """A single shared bus serializes all remote traffic."""
+
+    def __init__(self, params: MachineParams) -> None:
+        super().__init__(params)
+        self.bus = FifoResource("bus")
+
+    def route(self, src: int, dst: int) -> list[FifoResource]:
+        self._check_nodes(src, dst)
+        if src == dst:
+            return []
+        return [self.bus]
+
+    def all_resources(self) -> list[FifoResource]:
+        return [self.bus]
+
+    def describe(self) -> str:
+        return "single shared bus"
+
+
+class ButterflyTopology(Topology):
+    """Multistage omega network of ``arity``-way switches.
+
+    With ``n`` nodes and arity ``a`` there are ``ceil(log_a n)`` stages.
+    Writing node labels in base ``a`` with ``k`` digits, the output port a
+    message occupies at stage ``s`` is labelled by the first ``s+1`` digits
+    of the destination followed by the last ``k-s-1`` digits of the source
+    (standard omega self-routing).  Distinct (src, dst) pairs whose routes
+    coincide at a stage therefore share -- and contend for -- that port.
+    """
+
+    def __init__(self, params: MachineParams) -> None:
+        super().__init__(params)
+        self.arity = params.switch_arity
+        if self.arity < 2:
+            raise ValueError("switch arity must be >= 2")
+        n = params.n_processors
+        self.stages = max(1, math.ceil(math.log(max(n, 2), self.arity)))
+        self._ports: dict[tuple[int, int], FifoResource] = {}
+        self._route_cache: dict[tuple[int, int], list[FifoResource]] = {}
+
+    def _digits(self, value: int) -> list[int]:
+        digits = []
+        for _ in range(self.stages):
+            digits.append(value % self.arity)
+            value //= self.arity
+        digits.reverse()  # most significant first
+        return digits
+
+    def _port(self, stage: int, label: int) -> FifoResource:
+        key = (stage, label)
+        port = self._ports.get(key)
+        if port is None:
+            port = FifoResource(f"switch[s{stage}:p{label}]")
+            self._ports[key] = port
+        return port
+
+    def route(self, src: int, dst: int) -> list[FifoResource]:
+        self._check_nodes(src, dst)
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        sdig = self._digits(src)
+        ddig = self._digits(dst)
+        route = []
+        for stage in range(self.stages):
+            # first (stage+1) digits of dst, last (stages-stage-1) of src
+            label_digits = ddig[: stage + 1] + sdig[stage + 1:]
+            label = 0
+            for d in label_digits:
+                label = label * self.arity + d
+            route.append(self._port(stage, label))
+        self._route_cache[key] = route
+        return route
+
+    def all_resources(self) -> list[FifoResource]:
+        return list(self._ports.values())
+
+    def describe(self) -> str:
+        return (
+            f"butterfly/omega network: {self.stages} stages of "
+            f"{self.arity}x{self.arity} switches"
+        )
+
+
+def make_topology(params: MachineParams) -> Topology:
+    """Build the topology named by ``params.topology``."""
+    if params.topology == "butterfly":
+        return ButterflyTopology(params)
+    if params.topology == "bus":
+        return BusTopology(params)
+    if params.topology == "uniform":
+        return UniformTopology(params)
+    raise ValueError(f"unknown topology {params.topology!r}")

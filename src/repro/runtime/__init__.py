@@ -1,0 +1,59 @@
+"""User-level runtime: the programming model on top of PLATINUM.
+
+Programs, thread environments, allocation zones, shared-array views,
+memory-traffic-generating synchronization primitives, and the run harness.
+"""
+
+from .alloc import Arena, ArenaFullError
+from .data import Matrix, WordArray
+from .executor import ExecutionError, ThreadProcess
+from .ops import (
+    Compute,
+    FetchAdd,
+    GetTime,
+    Migrate,
+    Read,
+    RecvPort,
+    SendPort,
+    TestAndSet,
+    WaitFor,
+    WaitNewer,
+    Write,
+)
+from .program import Program, ProgramAPI, ThreadEnv, ThreadSpec
+from .rpc import STOP, RemoteService
+from .run import RunResult, make_kernel, run_program
+from .sync import Barrier, Broadcast, EventCount, SpinLock
+
+__all__ = [
+    "Arena",
+    "ArenaFullError",
+    "Barrier",
+    "Broadcast",
+    "Compute",
+    "EventCount",
+    "ExecutionError",
+    "FetchAdd",
+    "GetTime",
+    "Matrix",
+    "Migrate",
+    "Program",
+    "ProgramAPI",
+    "Read",
+    "RemoteService",
+    "RecvPort",
+    "RunResult",
+    "STOP",
+    "SendPort",
+    "SpinLock",
+    "TestAndSet",
+    "ThreadEnv",
+    "ThreadProcess",
+    "ThreadSpec",
+    "WaitFor",
+    "WaitNewer",
+    "WordArray",
+    "Write",
+    "make_kernel",
+    "run_program",
+]

@@ -1,0 +1,254 @@
+"""The thread executor: drives user generators on simulated processors.
+
+One :class:`ThreadProcess` runs each kernel thread.  It translates the
+operations of ``runtime.ops`` into machine and kernel activity:
+
+* memory operations are split into per-page runs; each run is translated
+  by the processor's MMU, faults into the PLATINUM fault path if needed,
+  and is then costed through the machine's contention model while the real
+  data moves between the simulated page frames;
+* the entire chain of a memory operation is computed in a single
+  simulation event -- shared resources are reserved into the future (see
+  ``repro.sim.resource``) -- and the generator resumes when the final
+  completion time arrives;
+* a per-processor ``cpu`` resource serializes threads that share a
+  processor, and interprocessor-interrupt penalties accumulated by
+  shootdowns are paid at the start of the next operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..kernel.kernel import Kernel
+from ..kernel.threads import Thread
+from ..machine.memory import WORD_DTYPE
+from ..sim.process import Delay, Op, Process, WaitFor
+from ..sim.resource import FifoResource
+from . import ops
+
+
+class ExecutionError(RuntimeError):
+    """A user thread issued an operation the executor cannot perform."""
+
+
+class ThreadProcess(Process):
+    """Runs one user thread's generator in simulated time."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        thread: Thread,
+        body: Generator[Op, Any, Any],
+        cpu: FifoResource,
+    ) -> None:
+        super().__init__(kernel.engine, body, name=thread.name)
+        self.kernel = kernel
+        self.thread = thread
+        self.cpu = cpu
+        self.on_finish(lambda _p: self.kernel.threads.exit(self.thread))
+
+    # -- operation dispatch -------------------------------------------------
+
+    def interpret(self, op: Op) -> None:  # noqa: C901 - a dispatcher
+        try:
+            if isinstance(op, ops.Compute):
+                self._do_compute(op)
+            elif isinstance(op, ops.Read):
+                self._do_read(op)
+            elif isinstance(op, ops.Write):
+                self._do_write(op)
+            elif isinstance(op, ops.TestAndSet):
+                self._do_test_and_set(op)
+            elif isinstance(op, ops.FetchAdd):
+                self._do_fetch_add(op)
+            elif isinstance(op, ops.Migrate):
+                self._do_migrate(op)
+            elif isinstance(op, ops.SendPort):
+                self._do_send(op)
+            elif isinstance(op, ops.RecvPort):
+                self._do_recv(op)
+            elif isinstance(op, ops.WaitNewer):
+                self._do_wait_newer(op)
+            elif isinstance(op, ops.GetTime):
+                self._resume(self.engine.now)
+            elif isinstance(op, (Delay, WaitFor)):
+                super().interpret(op)
+            else:
+                raise ExecutionError(f"unsupported operation {op!r}")
+        except Exception as exc:  # noqa: BLE001 - becomes a thread crash
+            # any executor or kernel error (protection fault, wild access,
+            # out of memory) kills the simulated thread, not the engine
+            self._throw(exc)
+
+    # -- timing helpers --------------------------------------------------------
+
+    def _begin(self) -> int:
+        """Start time of the next op: after CPU availability and any
+        pending interrupt penalty."""
+        now = self.engine.now
+        penalty = self.kernel.machine.interrupts.collect_penalty(
+            self.thread.processor
+        )
+        return int(round(max(now, self.cpu.busy_until) + penalty))
+
+    def _commit(self, end: float, value: Any = None) -> None:
+        """Occupy the CPU until ``end`` and resume the generator then."""
+        end = int(round(max(end, self.engine.now)))
+        if end > self.cpu.busy_until:
+            self.cpu.busy_until = end
+        self.engine.schedule_at(end, lambda: self._resume(value))
+
+    # -- compute -----------------------------------------------------------------
+
+    def _do_compute(self, op: ops.Compute) -> None:
+        if op.ns < 0:
+            raise ExecutionError(f"negative compute time {op.ns}")
+        start = self._begin()
+        self._commit(start + op.ns)
+
+    # -- memory access -------------------------------------------------------------
+
+    def _access_run(
+        self, va: int, n: int, write: bool, t: int
+    ) -> tuple[int, np.ndarray]:
+        """Translate-and-access one within-page run starting at time ``t``.
+
+        Returns (completion_time, view-of-frame-data).  The view is live
+        frame data: callers read from or write into it at event time.
+        """
+        machine = self.kernel.machine
+        proc = self.thread.processor
+        wpp = machine.params.words_per_page
+        vpage, offset = divmod(va, wpp)
+        if offset + n > wpp:
+            raise ExecutionError("access run crosses a page boundary")
+        mmu = machine.mmus[proc]
+        aspace_id = self.thread.aspace_id
+        for _attempt in range(3):
+            result = mmu.translate(aspace_id, vpage, write)
+            t += int(round(result.cost))
+            if result.entry is not None:
+                outcome = machine.access(
+                    proc, result.entry.frame, n, write, t
+                )
+                if (
+                    outcome.remote
+                    and self.kernel.coherent.reference_counting
+                    and result.entry.cpage_index is not None
+                ):
+                    self.kernel.coherent.note_remote_access(
+                        result.entry.cpage_index, proc, n
+                    )
+                data = result.entry.frame.data[offset: offset + n]
+                return outcome.completion, data
+            fault = self.kernel.fault(proc, aspace_id, vpage, write, t)
+            t = fault.completion
+        raise ExecutionError(
+            f"cpu{proc} could not obtain a translation for vpage {vpage} "
+            f"(aspace {aspace_id}, write={write}) after repeated faults"
+        )
+
+    def _split_runs(self, va: int, n: int) -> list[tuple[int, int]]:
+        if n <= 0:
+            raise ExecutionError(f"access of {n} words at va {va}")
+        if va < 0:
+            raise ExecutionError(f"negative address {va}")
+        wpp = self.kernel.machine.params.words_per_page
+        runs = []
+        while n > 0:
+            offset = va % wpp
+            take = min(n, wpp - offset)
+            runs.append((va, take))
+            va += take
+            n -= take
+        return runs
+
+    def _do_read(self, op: ops.Read) -> None:
+        t = self._begin()
+        out = np.empty(op.n, dtype=WORD_DTYPE)
+        pos = 0
+        for va, take in self._split_runs(op.va, op.n):
+            t, data = self._access_run(va, take, write=False, t=t)
+            out[pos: pos + take] = data
+            pos += take
+        self._commit(t, out)
+
+    def _do_write(self, op: ops.Write) -> None:
+        t = self._begin()
+        if np.isscalar(op.value) or isinstance(op.value, (int, np.integer)):
+            values = np.full(1, op.value, dtype=WORD_DTYPE)
+        else:
+            values = np.asarray(op.value, dtype=WORD_DTYPE)
+        n = len(values)
+        pos = 0
+        for va, take in self._split_runs(op.va, n):
+            t, data = self._access_run(va, take, write=True, t=t)
+            data[:] = values[pos: pos + take]
+            pos += take
+        self._commit(t)
+
+    def _do_test_and_set(self, op: ops.TestAndSet) -> None:
+        t = self._begin()
+        t, data = self._access_run(op.va, 1, write=True, t=t)
+        old = int(data[0])
+        data[0] = op.value
+        self._commit(t, old)
+
+    def _do_fetch_add(self, op: ops.FetchAdd) -> None:
+        t = self._begin()
+        t, data = self._access_run(op.va, 1, write=True, t=t)
+        data[0] += op.delta
+        self._commit(t, int(data[0]))
+
+    # -- thread migration --------------------------------------------------------------
+
+    def _do_migrate(self, op: ops.Migrate) -> None:
+        start = self._begin()
+        cost = self.kernel.threads.migrate(self.thread, op.processor)
+        # after migration the thread competes for the new processor
+        runner = self  # clarity: the cpu resource must follow the thread
+        runner.cpu = _cpu_resource(self.kernel, op.processor)
+        self._commit(start + cost)
+
+    # -- ports -------------------------------------------------------------------------
+
+    def _do_send(self, op: ops.SendPort) -> None:
+        t = self._begin()
+        data = np.asarray(op.data, dtype=WORD_DTYPE)
+        end = op.port.send(data, self.thread.tid, self.thread.processor, t)
+        self._commit(end)
+
+    def _do_recv(self, op: ops.RecvPort) -> None:
+        t = self._begin()
+        result = op.port.try_receive(self.thread.processor, t)
+        if result is None:
+            # no message: sleep until an arrival, then retry.  Registration
+            # happens in this same event, so no arrival can be missed.
+            op.port.arrival.wait(lambda _v: self.interpret(op))
+            return
+        message, end = result
+        self._commit(end, message.data)
+
+    # -- broadcast wait -------------------------------------------------------------------
+
+    def _do_wait_newer(self, op: ops.WaitNewer) -> None:
+        if op.channel.version > op.seen:
+            self._resume(None)
+            return
+        op.channel.event.wait(self._resume)
+
+
+#: per-kernel cache of cpu resources, keyed by processor index
+def _cpu_resource(kernel: Kernel, processor: int) -> FifoResource:
+    cache = getattr(kernel, "_cpu_resources", None)
+    if cache is None:
+        cache = {}
+        kernel._cpu_resources = cache  # type: ignore[attr-defined]
+    res = cache.get(processor)
+    if res is None:
+        res = FifoResource(f"cpu[{processor}]")
+        cache[processor] = res
+    return res

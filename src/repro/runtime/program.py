@@ -1,0 +1,172 @@
+"""The user programming model: programs, threads, and the setup API.
+
+A :class:`Program` allocates its shared data in :meth:`Program.setup`
+through a :class:`ProgramAPI` (arenas, synchronization objects, thread
+spawning), then each spawned thread body runs as a generator over
+``runtime.ops`` operations.  This mirrors the paper's model: threads in a
+single address space sharing all its memory objects, communicating through
+shared memory or ports.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..kernel.kernel import Kernel
+from ..kernel.ports import Port
+from ..kernel.threads import Thread
+from ..kernel.vm import AddressSpace
+from ..machine.pmap import Rights
+from .alloc import Arena
+from .sync import Barrier, EventCount, SpinLock
+
+
+@dataclass(eq=False)
+class ThreadEnv:
+    """Per-thread handle passed to thread bodies.
+
+    ``tid`` is the *program-local* thread index (0..n-1 in spawn order);
+    the kernel's global thread id is ``thread.tid``.  Programs index
+    their own arrays by ``tid``, so it must not depend on what else is
+    running on the kernel.
+    """
+
+    tid: int
+    thread: Thread
+    kernel: Kernel
+
+    @property
+    def processor(self) -> int:
+        return self.thread.processor
+
+
+@dataclass(eq=False)
+class ThreadSpec:
+    """A spawned thread awaiting execution."""
+
+    thread: Thread
+    env: ThreadEnv
+    body: Generator
+
+
+class ProgramAPI:
+    """Everything a program needs during setup."""
+
+    def __init__(self, kernel: Kernel,
+                 aspace: Optional[AddressSpace] = None) -> None:
+        self.kernel = kernel
+        self.aspace = (
+            aspace if aspace is not None
+            else kernel.vm.create_address_space()
+        )
+        self._next_vpage = 0
+        self.thread_specs: list[ThreadSpec] = []
+
+    @property
+    def n_processors(self) -> int:
+        return self.kernel.params.n_processors
+
+    @property
+    def engine(self):
+        return self.kernel.engine
+
+    # -- memory -----------------------------------------------------------------
+
+    def arena(
+        self,
+        n_pages: int,
+        label: str = "",
+        rights: Rights = Rights.WRITE,
+        backing: Optional[np.ndarray] = None,
+        aspace: Optional[AddressSpace] = None,
+        placement=None,
+    ) -> Arena:
+        """Create an allocation zone bound at the next free virtual range.
+
+        ``placement`` is forwarded to the memory object: None for
+        first-touch, "interleave" for round-robin scatter, or a module
+        index to pin the zone's pages.
+        """
+        target = aspace if aspace is not None else self.aspace
+        arena = Arena(
+            self.kernel,
+            target,
+            self._next_vpage,
+            n_pages,
+            label=label,
+            rights=rights,
+            backing=backing,
+            placement=placement,
+        )
+        self._next_vpage += n_pages
+        return arena
+
+    # -- synchronization ----------------------------------------------------------
+
+    def lock(
+        self, arena: Arena, name: str = "lock", page_aligned: bool = True
+    ) -> SpinLock:
+        va = arena.alloc(1, page_aligned=page_aligned)
+        return SpinLock(self.engine, va, name)
+
+    def event_count(
+        self, arena: Arena, name: str = "evc", page_aligned: bool = False
+    ) -> EventCount:
+        va = arena.alloc(1, page_aligned=page_aligned)
+        return EventCount(self.engine, va, name)
+
+    def barrier(
+        self, arena: Arena, n: int, name: str = "barrier",
+        page_aligned: bool = True,
+    ) -> Barrier:
+        count_va = arena.alloc(1, page_aligned=page_aligned)
+        gen_va = arena.alloc(1)
+        return Barrier(self.engine, count_va, gen_va, n, name)
+
+    # -- ports --------------------------------------------------------------------
+
+    def port(self, home_module: Optional[int] = None,
+             label: str = "") -> Port:
+        return self.kernel.ports.create_port(home_module, label)
+
+    # -- threads ---------------------------------------------------------------------
+
+    def spawn(
+        self,
+        processor: int,
+        body_factory: Callable[[ThreadEnv], Generator],
+        name: str = "",
+        aspace: Optional[AddressSpace] = None,
+    ) -> ThreadSpec:
+        """Create a thread on ``processor`` running ``body_factory(env)``."""
+        target = aspace if aspace is not None else self.aspace
+        thread = self.kernel.threads.spawn(
+            target.asid, processor, name=name
+        )
+        local_tid = len(self.thread_specs)
+        env = ThreadEnv(tid=local_tid, thread=thread, kernel=self.kernel)
+        spec = ThreadSpec(thread=thread, env=env, body=body_factory(env))
+        self.thread_specs.append(spec)
+        return spec
+
+
+class Program(ABC):
+    """Base class for workloads."""
+
+    #: short identifier used in reports
+    name: str = "program"
+
+    @abstractmethod
+    def setup(self, api: ProgramAPI) -> None:
+        """Allocate shared state and spawn threads."""
+
+    def verify(self, results: list[Any]) -> None:
+        """Optional end-to-end correctness check over thread results.
+
+        Raises AssertionError on failure.  Called by ``run_program`` after
+        the simulation finishes; the default accepts anything.
+        """

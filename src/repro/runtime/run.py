@@ -1,0 +1,139 @@
+"""The run harness: execute a program on a PLATINUM kernel.
+
+``run_program`` performs the whole experiment: program setup, thread
+execution to completion, protocol invariant checking, and collection of
+the kernel's post-mortem memory report -- returning everything a
+benchmark or test needs in a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.instrumentation import MemoryReport
+from ..core.policy import ReplicationPolicy
+from ..kernel.kernel import Kernel
+from ..machine.params import MachineParams
+from .executor import ThreadProcess, _cpu_resource
+from .program import Program, ProgramAPI
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one program run."""
+
+    program: Program
+    kernel: Kernel
+    sim_time_ns: int
+    thread_results: list[Any]
+    report: MemoryReport
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time_ns / 1e6
+
+    @property
+    def sim_time_s(self) -> float:
+        return self.sim_time_ns / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunResult {self.program.name} {self.sim_time_ms:.3f} ms "
+            f"faults={self.report.total_faults}>"
+        )
+
+
+def run_program(
+    kernel: Kernel,
+    program: Program,
+    max_events: Optional[int] = None,
+    check_invariants: bool = True,
+    stall_limit_ns: float = 30e9,
+) -> RunResult:
+    """Run ``program`` to completion on ``kernel``.
+
+    ``stall_limit_ns`` bounds how long (in simulated time) the run may go
+    with every thread suspended and only daemon activity in the event
+    queue -- a deadlocked program is reported instead of spinning on
+    defrost ticks forever.
+    """
+    api = ProgramAPI(kernel)
+    program.setup(api)
+    if not api.thread_specs:
+        raise ValueError(f"{program.name}: setup spawned no threads")
+    start = kernel.engine.now
+    processes = []
+    for spec in api.thread_specs:
+        cpu = _cpu_resource(kernel, spec.thread.processor)
+        processes.append(ThreadProcess(kernel, spec.thread, spec.body, cpu))
+    for proc in processes:
+        proc.start()
+
+    last_activity = [kernel.engine.now]
+
+    def stop_when() -> bool:
+        if any(p.error is not None for p in processes):
+            return True
+        if all(p.finished for p in processes):
+            return True
+        busy = max(
+            (c.busy_until for c in getattr(
+                kernel, "_cpu_resources", {}).values()),
+            default=0,
+        )
+        if busy > last_activity[0]:
+            last_activity[0] = busy
+        if kernel.engine.now - last_activity[0] > stall_limit_ns:
+            raise RuntimeError(
+                f"{program.name}: no thread progress for "
+                f"{stall_limit_ns / 1e9:.1f} simulated seconds; "
+                f"still running: "
+                f"{[p.name for p in processes if not p.finished]} "
+                "(deadlock in the simulated program?)"
+            )
+        return False
+
+    kernel.engine.run(max_events=max_events, stop_when=stop_when)
+    results = [p.check() for p in processes]
+    unfinished = [p.name for p in processes if not p.finished]
+    if unfinished:
+        raise RuntimeError(
+            f"{program.name}: threads never finished: {unfinished} "
+            "(deadlock or starvation in the simulated program)"
+        )
+    if check_invariants:
+        kernel.check_invariants()
+    program.verify(results)
+    return RunResult(
+        program=program,
+        kernel=kernel,
+        sim_time_ns=kernel.engine.now - start,
+        thread_results=results,
+        report=kernel.report(),
+    )
+
+
+def make_kernel(
+    n_processors: int = 16,
+    params: Optional[MachineParams] = None,
+    policy: Optional[ReplicationPolicy] = None,
+    defrost_enabled: bool = True,
+    defrost_period: Optional[float] = None,
+    trace: bool = False,
+    **param_overrides,
+) -> Kernel:
+    """Convenience: a fresh kernel on a fresh Butterfly Plus-like machine."""
+    if params is None:
+        params = MachineParams(n_processors=n_processors).scaled(
+            **param_overrides
+        )
+    elif param_overrides:
+        params = params.scaled(**param_overrides)
+    return Kernel(
+        params=params,
+        policy=policy,
+        defrost_enabled=defrost_enabled,
+        defrost_period=defrost_period,
+        trace=trace,
+    )

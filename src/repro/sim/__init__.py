@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation substrate.
+
+Provides the event engine, FIFO-occupancy resources for contention
+modelling, generator-based processes, and simulated-time synchronization
+channels on which the NUMA machine model (``repro.machine``) is built.
+"""
+
+from .engine import Engine, SimulationError
+from .process import Delay, Op, Process, ProcessCrashed, WaitFor, run_all
+from .resource import FifoResource, ResourcePool, ResourceStats
+from .sync import CountdownLatch, SimEvent
+
+__all__ = [
+    "CountdownLatch",
+    "Delay",
+    "Engine",
+    "FifoResource",
+    "Op",
+    "Process",
+    "ProcessCrashed",
+    "ResourcePool",
+    "ResourceStats",
+    "SimEvent",
+    "SimulationError",
+    "WaitFor",
+    "run_all",
+]

@@ -1,0 +1,130 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar-queue simulator: callbacks are scheduled
+at absolute simulated times (in nanoseconds) and executed in (time, seq)
+order, where ``seq`` is a monotonically increasing tie-breaker that makes
+every run fully deterministic.
+
+Everything in the PLATINUM reproduction that needs a notion of time --
+processors, the defrost daemon, interprocessor interrupts -- runs on top of
+one :class:`Engine` instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the
+    past, or running a finished engine)."""
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Time is measured in integer nanoseconds.  Fractional delays are allowed
+    as inputs and rounded to the nearest nanosecond so that timestamps stay
+    exact and comparisons deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at ``now + delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        when = self._now + int(round(delay))
+        self.schedule_at(when, fn)
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``when`` nanoseconds."""
+        when = int(round(when))
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} ns; now is {self._now} ns"
+            )
+        heapq.heappush(self._queue, (when, self._seq, fn))
+        self._seq += 1
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        if not self._queue:
+            return False
+        when, _seq, fn = heapq.heappop(self._queue)
+        self._now = when
+        fn()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until the queue drains (or a limit is reached).
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would be strictly after this
+            time; the clock is advanced to ``until``.
+        max_events:
+            Safety valve: raise :class:`SimulationError` after this many
+            events, to catch accidental infinite event loops.
+        stop_when:
+            Checked after every event; the run ends when it returns True.
+
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = int(round(until))
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "possible runaway event loop"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, int(round(until)))
+        finally:
+            self._running = False
+        return executed

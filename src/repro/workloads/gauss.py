@@ -1,0 +1,272 @@
+"""Gaussian elimination (paper Figure 1 and section 5.1).
+
+The paper's program "simulates Gaussian elimination without pivoting on
+dense matrices ... it uses integer rather than floating-point operations,
+thus emphasizing the relative impact of memory performance".  The
+PLATINUM implementation is coarse-grain, modelled on LeBlanc's most
+efficient Uniform System version: one thread per processor, rows
+statically allocated (cyclically, for load balance), and in each round
+every thread reads the pivot row and eliminates its own rows below it.
+Threads synchronize through an array of event counts -- one per pivot row
+-- and, as the paper reports, that event-count page is the only page the
+replication policy freezes.
+
+Integer arithmetic is done modulo a large prime so that the computation
+is exactly reproducible and the final matrix can be verified against a
+sequential elimination -- an end-to-end proof that the coherent memory
+kept every replica coherent.
+
+Allocation follows the section 6 discipline by default: rows padded to
+page boundaries (each 800-word row of the paper's 800x800 input occupies
+its own 1024-word page), the event-count array on its own pages, and each
+thread's private variables in a private arena.  ``pad_rows=False``
+recreates the false-sharing layout for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machine.memory import WORD_DTYPE
+from ..runtime.data import Matrix, WordArray
+from ..runtime.ops import Compute, Read, Write
+from ..runtime.program import Program, ProgramAPI, ThreadEnv
+from ..runtime.sync import EventCount
+
+#: modulus for the integer arithmetic: products stay within int64
+MODULUS = 2_147_483_647
+
+#: integer update cost per matrix element on a 16.67 MHz MC68020,
+#: excluding the memory references themselves (they are simulated).
+#: The paper does not report it; 500 ns/element keeps the program
+#: memory-bound the way the paper's integer "simulated elimination" was.
+DEFAULT_COMPUTE_PER_WORD = 500.0
+
+
+def eliminate_reference(matrix: np.ndarray) -> np.ndarray:
+    """Sequential reference elimination (same modular arithmetic)."""
+    a = np.array(matrix, dtype=WORD_DTYPE) % MODULUS
+    n = len(a)
+    for k in range(n - 1):
+        pkk = int(a[k, k])
+        pivot = a[k, k:].copy()
+        for i in range(k + 1, n):
+            rik = int(a[i, k])
+            a[i, k:] = (pkk * a[i, k:] - rik * pivot) % MODULUS
+    return a
+
+
+def make_input(n: int, seed: int = 1989) -> np.ndarray:
+    """The random integer input matrix (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, MODULUS, size=(n, n), dtype=WORD_DTYPE)
+
+
+@dataclass
+class GaussStats:
+    """Per-run counters gathered by the program itself."""
+
+    rounds: int = 0
+    pivot_reads: int = 0
+
+
+class GaussianElimination(Program):
+    """Coarse-grain parallel Gaussian elimination on PLATINUM."""
+
+    name = "gauss"
+
+    def __init__(
+        self,
+        n: int = 128,
+        n_threads: Optional[int] = None,
+        seed: int = 1989,
+        compute_per_word: float = DEFAULT_COMPUTE_PER_WORD,
+        pad_rows: bool = True,
+        verify_result: bool = True,
+        colocate_lock_with_size: bool = False,
+        matrix_placement=None,
+        pretouch_rows: bool = False,
+        pivot_to_local_buffer: bool = False,
+    ) -> None:
+        """Parameters
+        ----------
+        n:
+            Matrix dimension (the paper uses 800).
+        n_threads:
+            One per processor by default.
+        pad_rows:
+            Pad each row to a page boundary (the intelligent-allocation
+            discipline of section 6).  False recreates row false-sharing.
+        verify_result:
+            Check the final matrix against a sequential elimination.
+        colocate_lock_with_size:
+            Recreate the section 4.2 anecdote: place the startup
+            spin-lock barrier word on the same page as the matrix-size
+            variable read in every inner loop, so spinning freezes the
+            page and every thread's inner loop goes remote.
+        matrix_placement:
+            Initial placement of the matrix pages (forwarded to the
+            memory object).  ``"interleave"`` with a never-cache policy
+            reproduces the Uniform System's scattered matrix.
+        pretouch_rows:
+            Each thread writes its rows once before the start barrier, so
+            first-touch placement puts them locally (hand-tuned static
+            placement).
+        pivot_to_local_buffer:
+            The Uniform System hand optimization: copy the pivot row into
+            a private per-thread buffer each round instead of relying on
+            the memory system.
+        """
+        if n < 2:
+            raise ValueError("matrix must be at least 2x2")
+        self.n = n
+        self.n_threads = n_threads
+        self.seed = seed
+        self.compute_per_word = compute_per_word
+        self.pad_rows = pad_rows
+        self.verify_result = verify_result
+        self.colocate_lock_with_size = colocate_lock_with_size
+        self.matrix_placement = matrix_placement
+        self.pretouch_rows = pretouch_rows
+        self.pivot_to_local_buffer = pivot_to_local_buffer
+        self.stats = GaussStats()
+        self._input = make_input(n, seed)
+        self._final: Optional[np.ndarray] = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self, api: ProgramAPI) -> None:
+        n = self.n
+        p = self.n_threads or api.n_processors
+        self.p = p
+        wpp = api.kernel.params.words_per_page
+        stride = ((n + wpp - 1) // wpp) * wpp if self.pad_rows else n
+        matrix_pages = (n * stride + wpp - 1) // wpp
+        matrix_arena = api.arena(
+            matrix_pages + 1, label="matrix",
+            backing=self._backing(n, stride),
+            placement=self.matrix_placement,
+        )
+        self.matrix = Matrix(
+            matrix_arena.base_va, n, n, row_stride=stride, name="A"
+        )
+        self.matrix_arena = matrix_arena
+
+        sync_pages = (n + wpp - 1) // wpp + 1
+        sync_arena = api.arena(sync_pages, label="evc")
+        self.row_ready = WordArray.alloc(sync_arena, n, name="row_ready")
+        self.row_ready_evc = [
+            EventCount(api.engine, self.row_ready.va(k), f"row{k}")
+            for k in range(n)
+        ]
+        self.done = api.event_count(sync_arena, name="done")
+
+        # the section 4.2 anecdote: a "matrix size" word read in every
+        # inner loop, optionally co-located with the startup barrier lock
+        misc_arena = api.arena(2, label="misc")
+        self.size_va = misc_arena.alloc(1, page_aligned=True)
+        if self.colocate_lock_with_size:
+            self.start_barrier = api.barrier(
+                misc_arena, p, name="start", page_aligned=False
+            )
+        else:
+            self.start_barrier = api.barrier(misc_arena, p, name="start")
+
+        # Uniform System hand optimization: a private local pivot buffer
+        self.pivot_buffer_va: list[int] = []
+        if self.pivot_to_local_buffer:
+            row_pages = (n + wpp - 1) // wpp
+            for tid in range(p):
+                buf = api.arena(
+                    row_pages, label=f"pbuf{tid}",
+                    placement=tid % api.n_processors,
+                )
+                self.pivot_buffer_va.append(buf.alloc(n, page_aligned=True))
+
+        for tid in range(p):
+            api.spawn(tid % api.n_processors, self._body, name=f"gauss{tid}")
+
+    def _backing(self, n: int, stride: int) -> np.ndarray:
+        backing = np.zeros(n * stride, dtype=WORD_DTYPE)
+        for i in range(n):
+            backing[i * stride: i * stride + n] = self._input[i]
+        return backing
+
+    def _owner(self, row: int) -> int:
+        return row % self.p
+
+    # -- thread body -------------------------------------------------------------
+
+    def _body(self, env: ThreadEnv):
+        n = self.n
+        me = env.tid
+
+        # startup: one thread publishes the matrix size; all read it
+        if me == 0:
+            yield Write(self.size_va, n)
+        if self.pretouch_rows:
+            # hand-tuned static placement: touch my rows so first-touch
+            # allocation puts them in my local memory
+            for i in range(n):
+                if self._owner(i) == me:
+                    yield Read(self.matrix.va(i, 0), 1)
+        yield from self.start_barrier.wait()
+        size = yield Read(self.size_va, 1)
+        n = int(size[0])
+
+        my_rows = [i for i in range(n) if self._owner(i) == me]
+        for k in range(n - 1):
+            if self._owner(k) == me:
+                # my row k is final: announce the pivot row
+                yield from self.row_ready_evc[k].advance()
+            else:
+                yield from self.row_ready_evc[k].await_at_least(1)
+            rows_below = [i for i in my_rows if i > k]
+            if not rows_below:
+                continue
+            # each inner iteration re-reads the shared size variable, as
+            # in the paper's termination test (cheap when replicated,
+            # disastrous when its page is frozen)
+            pivot = yield self.matrix.read_row(k, start=k)
+            self.stats.pivot_reads += 1
+            if self.pivot_to_local_buffer:
+                # explicit copy into the private buffer (Uniform System
+                # style); PLATINUM makes this redundant via replication
+                yield Write(self.pivot_buffer_va[me], pivot)
+            pkk = int(pivot[0])
+            for i in rows_below:
+                yield Read(self.size_va, 1)
+                row = yield self.matrix.read_row(i, start=k)
+                rik = int(row[0])
+                updated = (pkk * row - rik * pivot) % MODULUS
+                yield Compute(self.compute_per_word * len(updated))
+                yield self.matrix.write_row(i, updated, start=k)
+            if self._owner(k) == me:
+                self.stats.rounds += 1
+
+        done = yield from self.done.advance()
+        if done == self.p and self.verify_result:
+            # last finisher reads back the matrix for verification
+            final = np.zeros((n, n), dtype=WORD_DTYPE)
+            for i in range(n):
+                final[i] = yield self.matrix.read_row(i)
+            self._final = final
+        return me
+
+    # -- verification ----------------------------------------------------------------
+
+    def verify(self, results) -> None:
+        assert sorted(results) == list(range(self.p)), results
+        if not self.verify_result:
+            return
+        assert self._final is not None, "no thread read back the matrix"
+        expected = eliminate_reference(self._input)
+        if not np.array_equal(self._final, expected):
+            bad = np.argwhere(self._final != expected)
+            raise AssertionError(
+                f"elimination result differs from the sequential "
+                f"reference at {len(bad)} positions, first {bad[0]}"
+            )

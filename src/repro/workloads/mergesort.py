@@ -1,0 +1,192 @@
+"""Parallel merge sort (paper Figure 5 and section 5.2).
+
+A tree of merge operations, each performed by a single thread, as in
+Anderson's Sequent Symmetry study that the paper compares against.  With
+``p`` leaf threads, thread ``t`` first sorts its contiguous chunk; then in
+round ``r`` the threads whose index is a multiple of ``2^r`` merge their
+run with their partner's.  Runs ping-pong between the data array and a
+scratch array so every merge reads two sorted runs linearly and writes one
+linearly -- the access pattern the paper highlights: during each merge,
+half of the input is already in the merging processor's local memory, and
+the linear scan touches every word that each coherent-page fault
+prefetched.
+
+Synchronization is an event count per tree node.  The sorted result is
+verified against ``numpy.sort`` of the input -- another end-to-end
+coherence proof.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machine.memory import WORD_DTYPE
+from ..runtime.data import WordArray
+from ..runtime.ops import Compute
+from ..runtime.program import Program, ProgramAPI, ThreadEnv
+
+#: comparison-and-move cost per element merged/sorted, beyond the memory
+#: references themselves.  Not reported by the paper; a fraction of a
+#: microsecond per element keeps the program memory-bound.
+DEFAULT_COMPUTE_PER_ELEMENT = 400.0
+
+
+def make_input(n: int, seed: int = 1989) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**31 - 1, size=n, dtype=WORD_DTYPE)
+
+
+@dataclass
+class MergeStats:
+    local_sorts: int = 0
+    merges: int = 0
+
+
+class MergeSort(Program):
+    """Tree-structured parallel merge sort."""
+
+    name = "mergesort"
+
+    def __init__(
+        self,
+        n: int = 65536,
+        n_threads: Optional[int] = None,
+        seed: int = 1989,
+        compute_per_element: float = DEFAULT_COMPUTE_PER_ELEMENT,
+        verify_result: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ValueError("need at least two elements")
+        self.n = n
+        self.n_threads = n_threads
+        self.seed = seed
+        self.compute_per_element = compute_per_element
+        self.verify_result = verify_result
+        self._input = make_input(n, seed)
+        self._final: Optional[np.ndarray] = None
+        self.stats = MergeStats()
+
+    def setup(self, api: ProgramAPI) -> None:
+        p = self.n_threads or api.n_processors
+        # the merge tree needs a power-of-two thread count
+        p = 1 << int(math.floor(math.log2(max(1, p))))
+        self.p = p
+        self.rounds = int(math.log2(p))
+        n = self.n
+        wpp = api.kernel.params.words_per_page
+        pages = (n + wpp - 1) // wpp + 1
+        data_arena = api.arena(pages, label="data", backing=self._input)
+        self.data = WordArray(data_arena.base_va, n, name="data")
+        scratch_arena = api.arena(pages, label="scratch")
+        self.scratch = WordArray(scratch_arena.base_va, n, name="scratch")
+
+        sync_arena = api.arena(1, label="sync")
+        self.ready = [
+            api.event_count(sync_arena, name=f"ready{t}")
+            for t in range(p)
+        ]
+        self.wpp = wpp
+
+        for tid in range(p):
+            api.spawn(
+                tid % api.n_processors, self._body, name=f"merge{tid}"
+            )
+
+    # -- helpers: batched page-wise array IO -----------------------------------
+
+    def _read_run(self, array: WordArray, start: int, length: int):
+        """Read a run page-batch by page-batch; returns a numpy array."""
+        out = np.empty(length, dtype=WORD_DTYPE)
+        pos = 0
+        while pos < length:
+            take = min(self.wpp, length - pos)
+            chunk = yield array.read(start + pos, take)
+            out[pos: pos + take] = chunk
+            pos += take
+        return out
+
+    def _write_run(self, array: WordArray, start: int, values: np.ndarray):
+        pos = 0
+        while pos < len(values):
+            take = min(self.wpp, len(values) - pos)
+            yield array.write(start + pos, values[pos: pos + take])
+            pos += take
+
+    def _bounds(self, tid: int) -> tuple[int, int]:
+        """Chunk [start, end) owned by leaf ``tid`` (balanced split)."""
+        chunk = self.n // self.p
+        extra = self.n % self.p
+        start = tid * chunk + min(tid, extra)
+        end = start + chunk + (1 if tid < extra else 0)
+        return start, end
+
+    def _span(self, tid: int, round_: int) -> tuple[int, int]:
+        """The run [start, end) thread ``tid`` holds after ``round_``."""
+        group = 1 << round_
+        first = tid
+        last = min(tid + group - 1, self.p - 1)
+        start, _ = self._bounds(first)
+        _, end = self._bounds(last)
+        return start, end
+
+    # -- thread body -----------------------------------------------------------------
+
+    def _body(self, env: ThreadEnv):
+        tid = env.tid
+        start, end = self._bounds(tid)
+        length = end - start
+
+        # leaf phase: local sort of my chunk
+        chunk = yield from self._read_run(self.data, start, length)
+        yield Compute(
+            self.compute_per_element
+            * length
+            * max(1.0, math.log2(max(2, length)))
+        )
+        chunk = np.sort(chunk)
+        yield from self._write_run(self.data, start, chunk)
+        self.stats.local_sorts += 1
+        yield from self.ready[tid].advance()
+
+        # merge rounds: after round r the run lives in data (r even) or
+        # scratch (r odd); sources of round r are in the round r-1 home
+        src, dst = self.data, self.scratch
+        for r in range(1, self.rounds + 1):
+            stride = 1 << r
+            if tid % stride != 0:
+                break
+            partner = tid + (stride >> 1)
+            # wait until the partner finished round r-1
+            yield from self.ready[partner].await_at_least(r)
+            a_start, a_end = self._span(tid, r - 1)
+            b_start, b_end = self._span(partner, r - 1)
+            left = yield from self._read_run(src, a_start, a_end - a_start)
+            right = yield from self._read_run(src, b_start, b_end - b_start)
+            merged = np.concatenate([left, right])
+            merged.sort(kind="mergesort")
+            yield Compute(self.compute_per_element * len(merged))
+            yield from self._write_run(dst, a_start, merged)
+            self.stats.merges += 1
+            yield from self.ready[tid].advance()
+            src, dst = dst, src
+
+        if tid == 0:
+            final = yield from self._read_run(src, 0, self.n)
+            self._final = final
+        return tid
+
+    def verify(self, results) -> None:
+        assert sorted(results) == list(range(self.p)), results
+        if not self.verify_result:
+            return
+        assert self._final is not None
+        expected = np.sort(self._input)
+        if not np.array_equal(self._final, expected):
+            raise AssertionError(
+                "merge sort output is not the sorted input "
+                "(coherence or algorithm failure)"
+            )

@@ -1,0 +1,172 @@
+"""Recurrent backpropagation network simulator (paper Figure 6, §5.3).
+
+The paper's third application is a neural-network simulator "parallelized
+by simple for-loop parallelization on units", written by a researcher with
+no Butterfly experience: each processor continually simulates a set of
+units, relying only on the atomicity of word operations when touching
+shared data, with no other synchronization.  It operates on very little
+data at very fine granularity, so PLATINUM "quickly gives up": the shared
+activation and weight pages are frozen in place and every incremental
+processor contributes about half of an all-local processor.
+
+We simulate a three-layer recurrent network learning an encoder problem
+(paper: 40 units, 16 input/output pairs) in fixed-point integer
+arithmetic.  Activations of all units share a page or two; weights are
+partitioned by unit but many units' weight rows share pages -- exactly the
+fine-grain write-sharing that defeats replication.
+
+Verification is structural (the run completes, activations stay bounded,
+every unit was updated the requested number of times); the paper itself
+notes the unsynchronized simulator is non-deterministic, so exact-value
+verification is only meaningful on one processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machine.memory import WORD_DTYPE
+from ..runtime.data import Matrix, WordArray
+from ..runtime.ops import Compute
+from ..runtime.program import Program, ProgramAPI, ThreadEnv
+
+#: fixed-point scale for activations/weights
+SCALE = 1024
+
+#: per-connection compute cost: a fixed/floating-point multiply-accumulate
+#: plus loop overhead.  On a 16.67 MHz MC68020 (with MC68881-class
+#: arithmetic) a MAC is several microseconds, which is what makes the
+#: all-remote frozen-page regime cost about twice the all-local one --
+#: the paper's "each incremental processor contributes about 1/2 that of
+#: a processor that makes only local memory references".
+DEFAULT_COMPUTE_PER_CONNECTION = 5000.0
+
+
+def _squash(x: np.ndarray) -> np.ndarray:
+    """A cheap bounded integer 'sigmoid': clip to +/- SCALE."""
+    return np.clip(x // SCALE, -SCALE, SCALE)
+
+
+@dataclass
+class NeuralStats:
+    unit_updates: int = 0
+    weight_updates: int = 0
+
+
+class NeuralNetSimulator(Program):
+    """For-loop-parallel recurrent network training."""
+
+    name = "neural"
+
+    def __init__(
+        self,
+        n_units: int = 40,
+        n_patterns: int = 16,
+        epochs: int = 25,
+        n_threads: Optional[int] = None,
+        seed: int = 1989,
+        compute_per_connection: float = DEFAULT_COMPUTE_PER_CONNECTION,
+    ) -> None:
+        if n_units < 2:
+            raise ValueError("need at least two units")
+        self.n_units = n_units
+        self.n_patterns = n_patterns
+        self.epochs = epochs
+        self.n_threads = n_threads
+        self.seed = seed
+        self.compute_per_connection = compute_per_connection
+        self.stats = NeuralStats()
+        rng = np.random.default_rng(seed)
+        self._w0 = rng.integers(
+            -SCALE, SCALE, size=(n_units, n_units), dtype=WORD_DTYPE
+        )
+        self._patterns = rng.integers(
+            -SCALE, SCALE, size=(n_patterns, n_units), dtype=WORD_DTYPE
+        )
+        self._final_activations: Optional[np.ndarray] = None
+
+    def setup(self, api: ProgramAPI) -> None:
+        p = self.n_threads or api.n_processors
+        self.p = min(p, self.n_units)
+        u = self.n_units
+
+        # activations: all units share one small array (fine granularity!)
+        act_arena = api.arena(
+            (u + api.kernel.params.words_per_page - 1)
+            // api.kernel.params.words_per_page + 1,
+            label="act",
+        )
+        self.act = WordArray.alloc(act_arena, u, name="act")
+
+        # weights: unit i's incoming weights are row i
+        wpp = api.kernel.params.words_per_page
+        w_pages = (u * u + wpp - 1) // wpp + 1
+        w_arena = api.arena(
+            w_pages, label="weights", backing=self._w0.ravel()
+        )
+        self.weights = Matrix(w_arena.base_va, u, u, name="W")
+
+        # training patterns: read-only, should replicate everywhere
+        pat_pages = (
+            self.n_patterns * u + wpp - 1
+        ) // wpp + 1
+        pat_arena = api.arena(
+            pat_pages, label="patterns", backing=self._patterns.ravel()
+        )
+        self.patterns = Matrix(
+            pat_arena.base_va, self.n_patterns, u, name="patterns"
+        )
+
+        for tid in range(self.p):
+            api.spawn(
+                tid % api.n_processors, self._body, name=f"nn{tid}"
+            )
+
+    def _my_units(self, tid: int) -> list[int]:
+        return [i for i in range(self.n_units) if i % self.p == tid]
+
+    def _body(self, env: ThreadEnv):
+        tid = env.tid
+        u = self.n_units
+        mine = self._my_units(tid)
+        updates = 0
+        for epoch in range(self.epochs):
+            pattern_row = epoch % self.n_patterns
+            for unit in mine:
+                # forward: activation of 'unit' from all activations
+                acts = yield self.act.read(0, u)
+                wrow = yield self.weights.read_row(unit)
+                target = yield self.patterns.read(pattern_row, unit)
+                yield Compute(self.compute_per_connection * u)
+                net = int(np.dot(acts, wrow) % (1 << 40))
+                new_act = int(_squash(np.array([net]))[0])
+                yield self.act.write(unit, new_act)
+                # backward: nudge weights toward the target (fine-grain
+                # writes into pages shared with other units' rows)
+                err = int(target[0]) - new_act
+                delta = (err * acts) // (SCALE * 4)
+                yield Compute(self.compute_per_connection * u)
+                yield self.weights.write_row(
+                    unit, (wrow + delta) % (1 << 30)
+                )
+                updates += 1
+                self.stats.unit_updates += 1
+                self.stats.weight_updates += 1
+        if tid == 0:
+            final = yield self.act.read(0, u)
+            self._final_activations = np.array(final, copy=True)
+        return updates
+
+    def verify(self, results) -> None:
+        expected = [
+            len(self._my_units(t)) * self.epochs for t in range(self.p)
+        ]
+        assert results == expected, (results, expected)
+        if self._final_activations is not None:
+            acts = self._final_activations
+            assert np.all(np.abs(acts) <= SCALE), (
+                "activations escaped the squash bound"
+            )

@@ -1,0 +1,155 @@
+"""Jacobi/SOR iteration: nearest-neighbour sharing on coherent memory.
+
+Not one of the paper's three measured applications, but the canonical
+NUMA workload its design discussion (sections 4.1 and 6) is about:
+block-partitioned grid rows are private to their owner except for the
+*boundary* rows, which the neighbouring threads read every iteration.
+Under PLATINUM the interior pages migrate to their owners once and stay;
+the boundary rows, written by one thread and read by one other in strict
+alternation, are exactly the g(2)=2 worst case of the section 4.1
+analysis -- whether they replicate profitably or freeze depends on the
+page size and iteration interval, which the ablation benchmarks sweep.
+
+The computation is integer Jacobi smoothing (average of the four
+neighbours, modulo nothing -- values shrink), double-buffered between
+two grids, and verified against a sequential numpy reference, so
+coherence of the boundary exchanges is end-to-end checked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..machine.memory import WORD_DTYPE
+from ..runtime.data import Matrix
+from ..runtime.ops import Compute
+from ..runtime.program import Program, ProgramAPI, ThreadEnv
+
+#: per-point update cost (4 adds + shift + loop overhead)
+DEFAULT_COMPUTE_PER_POINT = 600.0
+
+
+def make_grid(n: int, seed: int = 1989) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 20, size=(n, n), dtype=WORD_DTYPE)
+
+
+def jacobi_reference(grid: np.ndarray, iterations: int) -> np.ndarray:
+    """Sequential double-buffered Jacobi smoothing (integer)."""
+    cur = np.array(grid, dtype=WORD_DTYPE)
+    nxt = np.array(grid, dtype=WORD_DTYPE)
+    for _ in range(iterations):
+        nxt[1:-1, 1:-1] = (
+            cur[:-2, 1:-1] + cur[2:, 1:-1]
+            + cur[1:-1, :-2] + cur[1:-1, 2:]
+        ) // 4
+        cur, nxt = nxt, cur
+    return cur
+
+
+class JacobiSOR(Program):
+    """Block-row-partitioned double-buffered Jacobi iteration."""
+
+    name = "jacobi"
+
+    def __init__(
+        self,
+        n: int = 64,
+        iterations: int = 8,
+        n_threads: Optional[int] = None,
+        seed: int = 1989,
+        compute_per_point: float = DEFAULT_COMPUTE_PER_POINT,
+        pad_rows: bool = True,
+        verify_result: bool = True,
+    ) -> None:
+        if n < 4:
+            raise ValueError("grid must be at least 4x4")
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.n = n
+        self.iterations = iterations
+        self.n_threads = n_threads
+        self.seed = seed
+        self.compute_per_point = compute_per_point
+        self.pad_rows = pad_rows
+        self.verify_result = verify_result
+        self._input = make_grid(n, seed)
+        self._final: Optional[np.ndarray] = None
+
+    def setup(self, api: ProgramAPI) -> None:
+        n = self.n
+        p = self.n_threads or api.n_processors
+        # each thread owns at least one interior row
+        self.p = max(1, min(p, n - 2))
+        wpp = api.kernel.params.words_per_page
+        stride = ((n + wpp - 1) // wpp) * wpp if self.pad_rows else n
+        pages = (n * stride + wpp - 1) // wpp + 1
+
+        backing = np.zeros(n * stride, dtype=WORD_DTYPE)
+        for i in range(n):
+            backing[i * stride: i * stride + n] = self._input[i]
+        self.grids = []
+        for tag in ("gridA", "gridB"):
+            arena = api.arena(pages, label=tag, backing=backing)
+            self.grids.append(
+                Matrix(arena.base_va, n, n, row_stride=stride, name=tag)
+            )
+
+        sync_arena = api.arena(1, label="sync")
+        self.barrier = api.barrier(sync_arena, self.p, name="step")
+
+        for tid in range(self.p):
+            api.spawn(tid % api.n_processors, self._body,
+                      name=f"sor{tid}")
+
+    def _bounds(self, tid: int) -> tuple[int, int]:
+        """Interior rows [start, end) owned by ``tid``."""
+        interior = self.n - 2
+        chunk = interior // self.p
+        extra = interior % self.p
+        start = 1 + tid * chunk + min(tid, extra)
+        end = start + chunk + (1 if tid < extra else 0)
+        return start, end
+
+    def _body(self, env: ThreadEnv):
+        n = self.n
+        start, end = self._bounds(env.tid)
+        src_idx, dst_idx = 0, 1
+        for _step in range(self.iterations):
+            src, dst = self.grids[src_idx], self.grids[dst_idx]
+            above = yield src.read_row(start - 1)
+            for i in range(start, end):
+                here = yield src.read_row(i)
+                below = yield src.read_row(i + 1)
+                new = np.array(here, copy=True)
+                new[1:-1] = (
+                    above[1:-1] + below[1:-1] + here[:-2] + here[2:]
+                ) // 4
+                yield Compute(self.compute_per_point * (n - 2))
+                yield dst.write_row(i, new)
+                above = here
+            yield from self.barrier.wait()
+            src_idx, dst_idx = dst_idx, src_idx
+        if env.tid == 0 and self.verify_result:
+            final = np.zeros((n, n), dtype=WORD_DTYPE)
+            result_grid = self.grids[src_idx]
+            for i in range(n):
+                final[i] = yield result_grid.read_row(i)
+            self._final = final
+        return env.tid
+
+    def verify(self, results) -> None:
+        assert sorted(results) == list(range(self.p)), results
+        if not self.verify_result:
+            return
+        assert self._final is not None
+        expected = jacobi_reference(self._input, self.iterations)
+        if not np.array_equal(self._final, expected):
+            bad = np.argwhere(self._final != expected)
+            raise AssertionError(
+                f"Jacobi result differs from the sequential reference at "
+                f"{len(bad)} points, first {bad[0]} "
+                "(boundary-row coherence failure?)"
+            )

@@ -1,0 +1,69 @@
+"""Tests for the trace-driven visualizations."""
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.analysis import (
+    event_rate,
+    page_heat,
+    processor_profile,
+    run_dashboard,
+)
+from repro.workloads import GaussianElimination
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    kernel = make_kernel(n_processors=4, trace=True)
+    run_program(
+        kernel,
+        GaussianElimination(n=24, n_threads=4, verify_result=False),
+    )
+    return kernel
+
+
+def test_processor_profile_lists_all_cpus(traced_run):
+    text = processor_profile(traced_run)
+    for proc in range(4):
+        assert f"cpu{proc}" in text
+    assert "remote words" in text
+
+
+def test_page_heat_shows_hottest_pages(traced_run):
+    text = page_heat(traced_run.tracer, traced_run, top=5)
+    assert "events" in text
+    # the matrix pages are the hot ones in Gauss
+    assert "matrix" in text or "evc" in text
+
+
+def test_event_rate_covers_kinds_seen(traced_run):
+    text = event_rate(traced_run.tracer)
+    assert "fault" in text
+    assert "transfer" in text
+
+
+def test_dashboard_composes_everything(traced_run):
+    text = run_dashboard(traced_run)
+    assert "per-processor memory profile" in text
+    assert "protocol activity" in text
+    assert "post-mortem" in text
+
+
+def test_untraced_run_degrades_gracefully():
+    kernel = make_kernel(n_processors=2)
+    run_program(
+        kernel,
+        GaussianElimination(n=8, n_threads=2, verify_result=False),
+    )
+    assert "no trace events" in page_heat(kernel.tracer, kernel)
+    assert "no trace events" in event_rate(kernel.tracer)
+
+
+def test_strip_rendering_bounds():
+    from repro.analysis.visualize import RAMP, _strip
+
+    assert _strip([]) == ""
+    strip = _strip([0.0, 1.0, 2.0, 4.0])
+    assert len(strip) == 4
+    assert strip[0] == RAMP[0]
+    assert strip[-1] == RAMP[-1]

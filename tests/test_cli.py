@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_table1_command(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "S_min" in out
+    assert "never" in out
+
+
+def test_table1_machine_constants(capsys):
+    code, out = run_cli(capsys, "table1", "--machine-constants")
+    assert code == 0
+    assert "S_min" in out
+
+
+def test_transitions_command(capsys):
+    code, out = run_cli(capsys, "transitions")
+    assert code == 0
+    assert "present1" in out and "modified" in out
+
+
+def test_micro_command(capsys):
+    code, out = run_cli(capsys, "micro")
+    assert code == 0
+    assert "[ok]" in out
+    assert "OUT-OF-RANGE" not in out
+
+
+def test_gauss_run_command(capsys):
+    code, out = run_cli(
+        capsys, "gauss", "-n", "16", "-p", "4", "--machine", "4"
+    )
+    assert code == 0
+    assert "gauss:" in out
+    assert "post-mortem" in out
+
+
+def test_gauss_run_with_trace(capsys):
+    code, out = run_cli(
+        capsys, "gauss", "-n", "12", "-p", "2", "--machine", "2",
+        "--trace", "--no-verify",
+    )
+    assert code == 0
+    assert "protocol trace" in out
+
+
+def test_mergesort_run_command(capsys):
+    code, out = run_cli(
+        capsys, "mergesort", "-n", "512", "-p", "2", "--machine", "2"
+    )
+    assert code == 0
+    assert "mergesort:" in out
+
+
+def test_neural_run_command(capsys):
+    code, out = run_cli(
+        capsys, "neural", "-p", "4", "--machine", "4", "--epochs", "2"
+    )
+    assert code == 0
+    assert "neural:" in out
+
+
+def test_jacobi_run_command(capsys):
+    code, out = run_cli(
+        capsys, "jacobi", "-n", "16", "-p", "2", "--machine", "2",
+        "--epochs", "2",
+    )
+    assert code == 0
+    assert "jacobi:" in out
+
+
+def test_matmul_run_command(capsys):
+    code, out = run_cli(
+        capsys, "matmul", "-n", "12", "-p", "2", "--machine", "2"
+    )
+    assert code == 0
+    assert "matmul:" in out
+
+
+def test_speedup_command(capsys):
+    code, out = run_cli(
+        capsys, "speedup", "gauss", "-n", "24", "--counts", "1,2",
+        "--machine", "2",
+    )
+    assert code == 0
+    assert "speedup" in out
+    assert "ideal" in out
+
+
+def test_compare_command(capsys):
+    code, out = run_cli(
+        capsys, "compare", "-n", "24", "--machine", "4"
+    )
+    assert code == 0
+    for name in ("PLATINUM", "Uniform System", "SMP"):
+        assert name in out
+
+
+def test_dashboard_command(capsys):
+    code, out = run_cli(
+        capsys, "dashboard", "gauss", "-n", "16", "-p", "2",
+        "--machine", "2",
+    )
+    assert code == 0
+    assert "per-processor memory profile" in out
+    assert "protocol activity" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

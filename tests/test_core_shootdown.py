@@ -1,0 +1,169 @@
+"""Tests for the NUMA shootdown mechanism (paper section 3.1)."""
+
+import pytest
+
+from repro.core import Directive
+from repro.machine.pmap import Rights
+
+from tests.conftest import make_harness
+
+
+def _mapped_on(harness, nodes, write_first=False):
+    """Give several processors mappings to the harness's Cpage."""
+    first = nodes[0]
+    harness.fault(first, write=write_first)
+    for node in nodes[1:]:
+        harness.fault(node, write=False)
+
+
+def test_targets_limited_to_reference_mask():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1])  # cpus 2 and 3 never touched the page
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now,
+    )
+    assert result.interrupted == [1]
+    assert result.deferred == []
+    # only processor 1 was interrupted, never 2 or 3
+    state = harness.machine.interrupts.state
+    assert state[1].ipis_received == 1
+    assert state[2].ipis_received == 0
+
+
+def test_initiator_not_interrupted():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1, 2])
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now,
+    )
+    assert 0 not in result.interrupted
+    assert harness.machine.interrupts.state[0].ipis_received == 0
+    # but the initiator's own translation was removed directly
+    assert harness.pmap_entry(0) is None
+
+
+def test_invalidate_removes_translations_and_ref_bits():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1, 2])
+    sd = harness.kernel.coherent.shootdown
+    sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=3,
+        now=harness.kernel.engine.now,
+    )
+    for proc in (0, 1, 2):
+        assert harness.pmap_entry(proc) is None
+    assert harness.cmap_entry().ref_mask == 0
+
+
+def test_restrict_keeps_translations_read_only():
+    harness = make_harness(n_processors=4)
+    harness.fault(1, write=True)
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.RESTRICT, initiator=0,
+        now=harness.kernel.engine.now, rights=Rights.READ,
+    )
+    assert result.interrupted == [1]
+    entry = harness.pmap_entry(1)
+    assert entry is not None
+    assert entry.rights == Rights.READ
+    # restrict keeps the reference bit: the cpu still holds a mapping
+    assert harness.cmap_entry().has_ref(1)
+
+
+def test_module_filter_spares_other_copies():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1, 2])
+    sd = harness.kernel.coherent.shootdown
+    sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now, modules={1},
+    )
+    # only translations pointing at module 1's copy were invalidated
+    assert harness.pmap_entry(1) is None
+    assert harness.pmap_entry(0) is not None
+    assert harness.pmap_entry(2) is not None
+
+
+def test_initiator_cost_scales_per_target():
+    harness = make_harness(n_processors=8)
+    _mapped_on(harness, list(range(8)))
+    sd = harness.kernel.coherent.shootdown
+    p = harness.kernel.params
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now,
+    )
+    assert len(result.interrupted) == 7
+    expected = p.shootdown_first + 6 * p.shootdown_per_cpu
+    assert result.initiator_cost == pytest.approx(expected)
+
+
+def test_zero_target_shootdown_is_free():
+    harness = make_harness(n_processors=4)
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0, now=0
+    )
+    assert result.initiator_cost == 0.0
+    assert result.n_targets == 0
+
+
+def test_inactive_processor_deferred_until_activation():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1])
+    cmap = harness.kernel.coherent.cmaps[harness.aspace_id]
+    cmap.deactivate(1)
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now,
+    )
+    assert result.deferred == [1]
+    assert result.interrupted == []
+    # the stale translation survives until activation...
+    assert harness.pmap_entry(1) is not None
+    assert len(cmap.messages) == 1
+    # ...when the queued message is applied
+    harness.kernel.coherent.activate(harness.aspace_id, 1)
+    assert harness.pmap_entry(1) is None
+    assert cmap.messages == []
+
+
+def test_messages_posted_per_binding():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1])
+    # map the same cpage into a second address space and touch it there
+    aspace2 = harness.kernel.vm.create_address_space()
+    harness.kernel.coherent.map_page(
+        aspace2.asid, 7, harness.cpage, Rights.WRITE
+    )
+    harness.kernel.coherent.activate(aspace2.asid, 2)
+    harness.kernel.fault(2, aspace2.asid, 7, False,
+                         harness.kernel.engine.now)
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_cpage(
+        harness.cpage, Directive.INVALIDATE, initiator=0,
+        now=harness.kernel.engine.now,
+    )
+    # the change reached every address space mapping the Cpage
+    assert result.messages_posted == 2
+    cmap2 = harness.kernel.coherent.cmaps[aspace2.asid]
+    assert cmap2.pmap_for(2).lookup(7) is None
+
+
+def test_shoot_vpages_for_vm_layer():
+    harness = make_harness(n_processors=4)
+    _mapped_on(harness, [0, 1])
+    cmap = harness.kernel.coherent.cmaps[harness.aspace_id]
+    sd = harness.kernel.coherent.shootdown
+    result = sd.shoot_vpages(
+        cmap, [harness.vpage, 99], Directive.INVALIDATE, initiator=2,
+        now=harness.kernel.engine.now,
+    )
+    assert result.interrupted == [0, 1]
+    assert harness.pmap_entry(0) is None

@@ -1,0 +1,128 @@
+"""Final coverage batch: report helpers, speedup plumbing, port and
+trace corner cases that earlier files did not reach."""
+
+import numpy as np
+import pytest
+
+from repro import make_kernel, run_program
+from repro.analysis import (
+    SpeedupCurve,
+    SpeedupPoint,
+    ascii_plot,
+    measure_speedup,
+)
+from repro.runtime import Program, Read, Write
+from repro.workloads import PrivateWork
+
+
+def test_speedup_curve_at_unknown_count_raises():
+    curve = SpeedupCurve("x", [SpeedupPoint(1, 100, 1.0)])
+    with pytest.raises(KeyError):
+        curve.at(7)
+
+
+def test_speedup_point_derived_fields():
+    pt = SpeedupPoint(processors=4, sim_time_ns=2_000_000, speedup=3.0)
+    assert pt.sim_time_ms == pytest.approx(2.0)
+    assert pt.efficiency == pytest.approx(0.75)
+
+
+def test_measure_speedup_with_kernel_factory():
+    made = []
+
+    def factory(p):
+        kernel = make_kernel(n_processors=4)
+        made.append(p)
+        return kernel
+
+    curve = measure_speedup(
+        lambda p: PrivateWork(n_threads=p, sweeps=4 // p),
+        processor_counts=(1, 2),
+        kernel_factory=factory,
+    )
+    assert made == [1, 2]
+    assert len(curve.points) == 2
+
+
+def test_measure_speedup_keep_results_exposes_reports():
+    curve = measure_speedup(
+        lambda p: PrivateWork(n_threads=p, sweeps=2),
+        processor_counts=(1,),
+        machine_processors=2,
+        keep_results=True,
+    )
+    assert curve.points[0].result is not None
+    assert curve.points[0].result.report.total_faults > 0
+
+
+def test_ascii_plot_degenerate_inputs():
+    assert ascii_plot([], {}) == "(no data)"
+    # a single point with equal min/max axes must not divide by zero
+    text = ascii_plot([3], {"s": [2.0]}, title="t")
+    assert "t" in text
+
+
+def test_port_home_module_round_trip_costs_symmetry():
+    """A message landing on the receiver's own module costs less to
+    receive than one homed remotely."""
+    kernel = make_kernel(n_processors=4, defrost_enabled=False)
+    near = kernel.ports.create_port(home_module=0)
+    far = kernel.ports.create_port(home_module=3)
+    payload = np.arange(200, dtype=np.int64)
+    near_end = near.send(payload, 0, 0, now=0)
+    far_end = far.send(payload, 0, 0, now=0)
+    _, near_recv = near.try_receive(0, near_end)
+    _, far_recv = far.try_receive(0, far_end)
+    assert near_recv - near_end <= far_recv - far_end
+
+
+class StridedReader(Program):
+    """Reads with gaps across many pages: exercises run splitting on
+    non-contiguous patterns built from single-word ops."""
+
+    name = "strided"
+
+    def setup(self, api):
+        arena = api.arena(4, label="grid")
+        self.base = arena.base_va
+        self.wpp = api.kernel.params.words_per_page
+        api.spawn(0, self.body)
+
+    def body(self, env):
+        # touch one word on each page, then read them back
+        for page in range(4):
+            yield Write(self.base + page * self.wpp + 17, page * 11)
+        total = 0
+        for page in range(4):
+            v = yield Read(self.base + page * self.wpp + 17, 1)
+            total += int(v[0])
+        return total
+
+    def verify(self, results):
+        assert results == [0 + 11 + 22 + 33]
+
+
+def test_strided_access_pattern():
+    kernel = make_kernel(n_processors=2)
+    run_program(kernel, StridedReader())
+
+
+def test_trace_stops_recording_once_disabled():
+    from repro.core import EventKind
+
+    kernel = make_kernel(n_processors=2, trace=True)
+    run_program(kernel, StridedReader())
+    n_before = len(kernel.tracer)
+    assert n_before > 0
+    kernel.tracer.disable()
+    kernel.tracer.record(0, EventKind.FAULT, 0, 0)
+    assert len(kernel.tracer) == n_before  # disabled: nothing recorded
+
+
+def test_report_only_active_filter():
+    kernel = make_kernel(n_processors=2)
+    run_program(kernel, StridedReader())
+    report = kernel.report()
+    full = report.format(only_active=False, max_rows=100)
+    active = report.format(only_active=True, max_rows=100)
+    assert len(full.splitlines()) >= len(active.splitlines())

@@ -1,0 +1,78 @@
+"""Tests for the kernel's own memory regions (paper section 2.2)."""
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.core import CpageState
+from repro.machine.pmap import Rights
+from repro.workloads import GaussianElimination
+
+
+@pytest.fixture
+def booted():
+    kernel = make_kernel(n_processors=4)
+    kernel.boot_kernel_memory(text_pages=3, data_pages=2)
+    return kernel
+
+
+def test_kernel_text_replicated_everywhere(booted):
+    for cpage in booted.kernel_text.cpages:
+        assert cpage.n_copies == 4
+        assert cpage.state is CpageState.PRESENT_PLUS
+        assert not cpage.frozen
+
+
+def test_kernel_data_single_copy_frozen(booted):
+    homes = set()
+    for cpage in booted.kernel_data.cpages:
+        assert cpage.n_copies == 1
+        assert cpage.frozen and cpage.thaw_exempt
+        homes.update(cpage.frames)
+    # writable kernel pages are distributed, not piled on one module
+    assert len(homes) == len(booted.kernel_data.cpages)
+
+
+def test_kernel_data_mapped_remotely_with_write_rights(booted):
+    """All but the local processor get full-rights remote mappings."""
+    cmap = booted.coherent.cmaps[booted.kernel_aspace.asid]
+    text_pages = booted.kernel_text.n_pages
+    for i, cpage in enumerate(booted.kernel_data.cpages):
+        vpage = text_pages + i
+        home = next(iter(cpage.frames))
+        for proc in range(4):
+            entry = cmap.pmap_for(proc).lookup(vpage)
+            assert entry is not None
+            assert entry.rights == Rights.WRITE
+            assert entry.remote == (proc != home)
+
+
+def test_defrost_daemon_spares_kernel_data(booted):
+    thawed = booted.coherent.defrost.run_once()
+    assert thawed == 0
+    assert all(cp.frozen for cp in booted.kernel_data.cpages)
+
+
+def test_kernel_text_is_read_only(booted):
+    from repro.core.fault import ProtectionError
+
+    with pytest.raises(ProtectionError):
+        booted.fault(0, booted.kernel_aspace.asid, 0, True, 0)
+
+
+def test_double_boot_rejected(booted):
+    with pytest.raises(RuntimeError):
+        booted.boot_kernel_memory()
+
+
+def test_boot_consumes_frames_per_module(booted):
+    # 3 text replicas on every module + 2 data pages somewhere
+    total = sum(m.n_allocated for m in booted.machine.modules)
+    assert total == 3 * 4 + 2
+
+
+def test_applications_run_on_booted_kernel(booted):
+    run_program(booted, GaussianElimination(n=12, n_threads=4))
+    booted.check_invariants()
+    # kernel regions undisturbed by the application
+    assert all(cp.n_copies == 4 for cp in booted.kernel_text.cpages)
+    assert all(cp.frozen for cp in booted.kernel_data.cpages)

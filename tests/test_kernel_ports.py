@@ -1,0 +1,136 @@
+"""Tests for ports: global message queues."""
+
+import numpy as np
+import pytest
+
+from repro import make_kernel
+from repro.runtime import Program, RecvPort, SendPort, run_program
+
+
+@pytest.fixture
+def kernel():
+    return make_kernel(n_processors=4, defrost_enabled=False)
+
+
+def test_create_and_lookup(kernel):
+    port = kernel.ports.create_port(home_module=2, label="p")
+    assert kernel.ports.lookup(port.pid) is port
+    with pytest.raises(KeyError):
+        kernel.ports.lookup(999)
+
+
+def test_default_home_round_robin(kernel):
+    ports = [kernel.ports.create_port() for _ in range(5)]
+    assert [p.home_module for p in ports] == [0, 1, 2, 3, 0]
+
+
+def test_send_enqueues_copy(kernel):
+    port = kernel.ports.create_port(home_module=0)
+    data = np.array([1, 2, 3], dtype=np.int64)
+    end = port.send(data, sender_thread=0, sender_node=1, now=0)
+    assert end > 0
+    data[0] = 99  # sender's buffer mutation must not affect the message
+    msg, _ = port.try_receive(receiver_node=0, now=end)
+    assert list(msg.data) == [1, 2, 3]
+
+
+def test_receive_order_fifo(kernel):
+    port = kernel.ports.create_port(home_module=0)
+    for v in (10, 20, 30):
+        port.send(np.array([v]), 0, 0, now=0)
+    got = [int(port.try_receive(0, 0)[0].data[0]) for _ in range(3)]
+    assert got == [10, 20, 30]
+
+
+def test_empty_receive_returns_none(kernel):
+    port = kernel.ports.create_port()
+    assert port.try_receive(0, now=0) is None
+
+
+def test_send_cost_includes_fixed_and_transfer(kernel):
+    p = kernel.params
+    port = kernel.ports.create_port(home_module=2)
+    n = 100
+    end = port.send(np.zeros(n, dtype=np.int64), 0, 0, now=0)
+    expected = p.port_send_fixed + p.t_block_word * n
+    assert end == pytest.approx(expected, rel=0.01)
+
+
+def test_message_traffic_contends_with_memory(kernel):
+    port = kernel.ports.create_port(home_module=2)
+    kernel.machine.modules[2].bus.occupy(0, 1_000_000)
+    end = port.send(np.zeros(100, dtype=np.int64), 0, 0, now=0)
+    assert end > 1_000_000  # queued behind the busy destination bus
+
+
+class PingPong(Program):
+    """Two threads exchanging messages through ports."""
+
+    name = "pingpong"
+
+    def __init__(self, rounds=5):
+        self.rounds = rounds
+
+    def setup(self, api):
+        self.ping = api.port(home_module=0, label="ping")
+        self.pong = api.port(home_module=1, label="pong")
+        api.spawn(0, self.ping_body, name="ping")
+        api.spawn(1, self.pong_body, name="pong")
+
+    def ping_body(self, env):
+        total = 0
+        for i in range(self.rounds):
+            yield SendPort(self.pong, np.array([i], dtype=np.int64))
+            reply = yield RecvPort(self.ping)
+            total += int(reply[0])
+        return total
+
+    def pong_body(self, env):
+        for _ in range(self.rounds):
+            msg = yield RecvPort(self.pong)
+            yield SendPort(
+                self.ping, np.array([int(msg[0]) * 2], dtype=np.int64)
+            )
+        return "done"
+
+    def verify(self, results):
+        expected = sum(i * 2 for i in range(self.rounds))
+        assert results[0] == expected
+        assert results[1] == "done"
+
+
+def test_blocking_receive_end_to_end(kernel):
+    result = run_program(kernel, PingPong(rounds=5))
+    assert result.sim_time_ns > 0
+
+
+class ManyToOne(Program):
+    """Multiple senders into one port; one receiver drains them all."""
+
+    name = "many-to-one"
+
+    def setup(self, api):
+        self.port = api.port(home_module=0, label="sink")
+        self.n = 3
+        api.spawn(0, self.recv_body, name="recv")
+        for tid in range(self.n):
+            api.spawn(1 + tid, self.send_body, name=f"send{tid}")
+
+    def recv_body(self, env):
+        got = []
+        for _ in range(self.n):
+            msg = yield RecvPort(self.port)
+            got.append(int(msg[0]))
+        return sorted(got)
+
+    def send_body(self, env):
+        yield SendPort(self.port, np.array([env.tid], dtype=np.int64))
+        return env.tid
+
+    def verify(self, results):
+        assert results[0] == [1, 2, 3]
+
+
+def test_many_senders_one_receiver():
+    kernel = make_kernel(n_processors=4)
+    run_program(kernel, ManyToOne())

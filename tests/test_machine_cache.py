@@ -1,0 +1,84 @@
+"""Unit tests for the UMA snoopy write-through cache model."""
+
+import pytest
+
+from repro.machine.cache import CacheParams, DirectMappedCache, SnoopyBus
+
+
+@pytest.fixture
+def params():
+    return CacheParams(size_bytes=256, line_bytes=16)  # 16 lines
+
+
+def test_sizing(params):
+    assert params.n_lines == 16
+    assert params.words_per_line == 4
+
+
+def test_miss_then_hit(params):
+    cache = DirectMappedCache(params, 0)
+    assert cache.lookup(100) is False
+    cache.fill(100)
+    assert cache.lookup(100) is True
+    assert cache.lookup(101) is True  # same line
+    assert (cache.hits, cache.misses) == (2, 1)
+
+
+def test_direct_mapped_conflict(params):
+    cache = DirectMappedCache(params, 0)
+    cache.fill(0)
+    conflicting = params.n_lines * params.words_per_line  # same slot
+    cache.fill(conflicting)
+    assert cache.lookup(0) is False
+
+
+def test_invalidate(params):
+    cache = DirectMappedCache(params, 0)
+    cache.fill(100)
+    assert cache.invalidate(100) is True
+    assert cache.invalidate(100) is False
+    assert cache.lookup(100) is False
+
+
+def test_bus_read_fills_and_costs(params):
+    bus = SnoopyBus(params, 2)
+    end = bus.read_word(0, 100, now=0)
+    assert end == params.bus_line_ns + params.fill_latency_ns
+    end_hit = bus.read_word(0, 100, now=end)
+    assert end_hit == end + params.hit_ns
+
+
+def test_bus_write_invalidates_other_caches(params):
+    bus = SnoopyBus(params, 3)
+    bus.read_word(1, 100, now=0)
+    bus.read_word(2, 100, now=0)
+    bus.write_word(0, 100, now=0)
+    assert bus.caches[1].lookup(100) is False
+    assert bus.caches[2].lookup(100) is False
+
+
+def test_bus_write_keeps_own_copy_current(params):
+    bus = SnoopyBus(params, 2)
+    bus.read_word(0, 100, now=0)
+    bus.write_word(0, 100, now=0)
+    assert bus.caches[0].lookup(100) is True
+
+
+def test_bus_serializes_traffic(params):
+    bus = SnoopyBus(params, 2)
+    bus.read_word(0, 0, now=0)
+    end = bus.write_word(1, 1000, now=0)
+    # the write queues behind the line fill on the shared bus
+    assert end == params.bus_line_ns + params.bus_write_ns
+
+
+def test_working_set_larger_than_cache_thrashes(params):
+    bus = SnoopyBus(params, 1)
+    n_words = params.n_lines * params.words_per_line * 2
+    for addr in range(0, n_words, params.words_per_line):
+        bus.read_word(0, addr, now=0)
+    first_pass_misses = bus.caches[0].misses
+    for addr in range(0, n_words, params.words_per_line):
+        bus.read_word(0, addr, now=0)
+    # nothing survived: every second-pass access misses again
+    assert bus.caches[0].misses == 2 * first_pass_misses

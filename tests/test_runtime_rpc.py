@@ -1,0 +1,112 @@
+"""Tests for the RPC runtime (the section 4.1 'third option')."""
+
+import numpy as np
+import pytest
+
+from repro import make_kernel, run_program
+from repro.runtime import Program, Read, RemoteService, Write
+
+
+class CounterService(Program):
+    """Clients increment a shared counter object via RPC."""
+
+    name = "rpc-counter"
+
+    OP_ADD = 1
+    OP_GET = 2
+
+    def __init__(self, n_clients=3, increments=5):
+        self.n_clients = n_clients
+        self.increments = increments
+
+    def setup(self, api):
+        self.p = min(self.n_clients, api.n_processors - 1)
+        self.svc = RemoteService(
+            api,
+            home_processor=0,
+            state_words=8,
+            handler=self.handler,
+            n_clients=self.p,
+            label="counter",
+        )
+        for tid in range(self.p):
+            api.spawn(1 + tid % (api.n_processors - 1), self.client,
+                      name=f"client{tid}")
+
+    def handler(self, svc, opcode, args):
+        if opcode == self.OP_ADD:
+            value = yield Read(svc.state_va, 1)
+            new = int(value[0]) + int(args[0])
+            yield Write(svc.state_va, new)
+            return np.array([new], dtype=np.int64)
+        if opcode == self.OP_GET:
+            value = yield Read(svc.state_va, 1)
+            return np.array([int(value[0])], dtype=np.int64)
+        raise AssertionError(f"unknown opcode {opcode}")
+
+    def client(self, env):
+        me = env.tid - 1  # the server is thread 0
+        last = 0
+        for _ in range(self.increments):
+            reply = yield from self.svc.call(me, self.OP_ADD, 1)
+            last = int(reply[0])
+        yield from self.svc.stop(me)
+        return last
+
+    def verify(self, results):
+        server_calls, *client_lasts = results
+        expected_total = self.p * self.increments
+        assert server_calls == expected_total
+        assert max(client_lasts) == expected_total
+
+
+def test_rpc_counter_exact_total():
+    kernel = make_kernel(n_processors=4)
+    run_program(kernel, CounterService(n_clients=3, increments=5))
+
+
+def test_rpc_single_client():
+    kernel = make_kernel(n_processors=2)
+    run_program(kernel, CounterService(n_clients=1, increments=4))
+
+
+def test_rpc_server_memory_stays_local():
+    """The whole point of function shipping: the server's state never
+    leaves its home node and nobody accesses it remotely."""
+    kernel = make_kernel(n_processors=4)
+    prog = CounterService(n_clients=3, increments=6)
+    run_program(kernel, prog)
+    state_cpage = prog.svc.arena.cpage_of(prog.svc.state_va)
+    assert list(state_cpage.frames) == [0]  # single copy at home
+    assert state_cpage.stats.remote_mappings == 0
+    assert state_cpage.stats.invalidations == 0
+
+
+def test_rpc_validation():
+    kernel = make_kernel(n_processors=2)
+
+    class Bad(CounterService):
+        def setup(self, api):
+            with pytest.raises(ValueError):
+                RemoteService(api, 0, 8, self.handler, n_clients=0)
+            super().setup(api)
+
+    run_program(kernel, Bad(n_clients=1, increments=1))
+
+
+def test_rpc_bad_client_id_rejected():
+    kernel = make_kernel(n_processors=2)
+
+    class BadClient(CounterService):
+        def client(self, env):
+            with pytest.raises(ValueError):
+                # generator construction alone doesn't raise; drive it
+                gen = self.svc.call(99, self.OP_GET)
+                next(gen)
+            yield from self.svc.stop(0)
+            return 0
+
+        def verify(self, results):
+            pass
+
+    run_program(kernel, BadClient(n_clients=1, increments=1))

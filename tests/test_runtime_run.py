@@ -1,0 +1,104 @@
+"""Tests for the run harness itself."""
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.core.policy import NeverCachePolicy
+from repro.runtime import Compute, Program, WaitFor
+from repro.sim import SimEvent
+
+
+class Trivial(Program):
+    name = "trivial"
+
+    def __init__(self, n=2):
+        self.n = n
+
+    def setup(self, api):
+        for p in range(self.n):
+            api.spawn(p, self.body, name=f"t{p}")
+
+    def body(self, env):
+        yield Compute(1000 * (env.tid + 1))
+        return env.tid
+
+
+def test_run_result_fields():
+    kernel = make_kernel(n_processors=2)
+    result = run_program(kernel, Trivial())
+    assert result.sim_time_ns == 2000  # the slowest thread
+    assert result.sim_time_ms == pytest.approx(0.002)
+    assert result.thread_results == [0, 1]
+    assert result.report is not None
+    assert "trivial" in repr(result)
+
+
+def test_no_threads_rejected():
+    class Empty(Program):
+        name = "empty"
+
+        def setup(self, api):
+            pass
+
+    with pytest.raises(ValueError):
+        run_program(make_kernel(n_processors=2), Empty())
+
+
+def test_verify_failure_propagates():
+    class Failing(Trivial):
+        def verify(self, results):
+            raise AssertionError("nope")
+
+    with pytest.raises(AssertionError, match="nope"):
+        run_program(make_kernel(n_processors=2), Failing())
+
+
+def test_thread_crash_reported():
+    class Crashing(Program):
+        name = "crashing"
+
+        def setup(self, api):
+            api.spawn(0, self.body)
+
+        def body(self, env):
+            yield Compute(10)
+            raise RuntimeError("thread died")
+
+    from repro.sim import ProcessCrashed
+
+    with pytest.raises(ProcessCrashed):
+        run_program(make_kernel(n_processors=2), Crashing())
+
+
+def test_deadlock_detected_via_stall_limit():
+    class Deadlocked(Program):
+        name = "deadlocked"
+
+        def setup(self, api):
+            self.event = SimEvent(api.engine, "never")
+            api.spawn(0, self.body)
+
+        def body(self, env):
+            yield WaitFor(self.event)  # nobody ever fires this
+
+    kernel = make_kernel(n_processors=2)  # defrost keeps the queue alive
+    with pytest.raises(RuntimeError, match="no thread progress"):
+        run_program(kernel, Deadlocked(), stall_limit_ns=2e9)
+
+
+def test_make_kernel_overrides():
+    kernel = make_kernel(n_processors=3, page_bytes=8192)
+    assert kernel.params.n_processors == 3
+    assert kernel.params.words_per_page == 2048
+
+
+def test_make_kernel_policy_injection():
+    policy = NeverCachePolicy()
+    kernel = make_kernel(n_processors=2, policy=policy)
+    assert kernel.policy is policy
+
+
+def test_invariants_checked_after_run():
+    kernel = make_kernel(n_processors=2)
+    result = run_program(kernel, Trivial(), check_invariants=True)
+    assert result.sim_time_ns > 0

@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_in_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(30, lambda: seen.append("c"))
+    engine.schedule(10, lambda: seen.append("a"))
+    engine.schedule(20, lambda: seen.append("b"))
+    engine.run()
+    assert seen == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    seen = []
+    for tag in "abc":
+        engine.schedule(5, lambda tag=tag: seen.append(tag))
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(100, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_nested_scheduling_from_event():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append(("first", engine.now))
+        engine.schedule(7, lambda: seen.append(("second", engine.now)))
+
+    engine.schedule(3, first)
+    engine.run()
+    assert seen == [("first", 3), ("second", 10)]
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append(10))
+    engine.schedule(100, lambda: seen.append(100))
+    executed = engine.run(until=50)
+    assert executed == 1
+    assert seen == [10]
+    assert engine.now == 50
+    engine.run()
+    assert seen == [10, 100]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    engine = Engine()
+    engine.run(until=1234)
+    assert engine.now == 1234
+
+
+def test_max_events_guard():
+    engine = Engine()
+
+    def rearm():
+        engine.schedule(1, rearm)
+
+    engine.schedule(1, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=100)
+
+
+def test_stop_when_predicate():
+    engine = Engine()
+    seen = []
+    for i in range(10):
+        engine.schedule(i + 1, lambda i=i: seen.append(i))
+    engine.run(stop_when=lambda: len(seen) >= 3)
+    assert seen == [0, 1, 2]
+
+
+def test_stop_method_halts_run():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append(1)
+        engine.stop()
+
+    engine.schedule(1, first)
+    engine.schedule(2, lambda: seen.append(2))
+    engine.run()
+    assert seen == [1]
+    assert engine.pending_events == 1
+
+
+def test_step_executes_single_event():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda: seen.append("x"))
+    assert engine.step() is True
+    assert seen == ["x"]
+    assert engine.step() is False
+
+
+def test_fractional_delays_round_to_ns():
+    engine = Engine()
+    times = []
+    engine.schedule(10.4, lambda: times.append(engine.now))
+    engine.schedule(10.6, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [10, 11]
+
+
+def test_peek_time():
+    engine = Engine()
+    assert engine.peek_time() is None
+    engine.schedule(42, lambda: None)
+    assert engine.peek_time() == 42
+
+
+def test_reentrant_run_rejected():
+    engine = Engine()
+
+    def inner():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1, inner)
+    engine.run()
+
+
+def test_determinism_across_identical_runs():
+    def build():
+        engine = Engine()
+        order = []
+        for i in range(50):
+            engine.schedule((i * 7) % 13, lambda i=i: order.append(i))
+        engine.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,78 @@
+"""Tests for the parallel merge sort workload."""
+
+import numpy as np
+import pytest
+
+from repro import make_kernel, run_program
+from repro.workloads.mergesort import MergeSort, make_input
+
+
+@pytest.mark.parametrize("n,p", [(256, 2), (1024, 4), (1000, 4), (777, 2)])
+def test_sorts_correctly(n, p):
+    kernel = make_kernel(n_processors=max(p, 2))
+    result = run_program(kernel, MergeSort(n=n, n_threads=p))
+    # verify() checks the output equals numpy's sort of the input
+    assert result.sim_time_ns > 0
+
+
+def test_single_thread():
+    kernel = make_kernel(n_processors=2)
+    run_program(kernel, MergeSort(n=128, n_threads=1))
+
+
+def test_non_power_of_two_threads_rounded_down():
+    kernel = make_kernel(n_processors=8)
+    prog = MergeSort(n=512, n_threads=6)
+    run_program(kernel, prog)
+    assert prog.p == 4  # rounded to a power of two for the tree
+
+
+def test_stats_counters():
+    kernel = make_kernel(n_processors=4)
+    prog = MergeSort(n=512, n_threads=4)
+    run_program(kernel, prog)
+    assert prog.stats.local_sorts == 4
+    assert prog.stats.merges == 3  # a binary tree of 4 leaves
+
+
+def test_partner_data_is_replicated_not_remote_read():
+    """During merges the partner's half arrives via page replication:
+    the linear scan uses all the data each fault prefetched."""
+    kernel = make_kernel(n_processors=4)
+    result = run_program(
+        kernel, MergeSort(n=8192, n_threads=4, verify_result=False)
+    )
+    data_rows = [
+        r for r in result.report.rows if r.label.startswith(("data",
+                                                             "scratch"))
+    ]
+    assert sum(r.replications + r.migrations for r in data_rows) > 0
+
+
+def test_input_seeded():
+    assert np.array_equal(make_input(64, 1), make_input(64, 1))
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        MergeSort(n=1)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 999])
+def test_sorts_across_seeds(seed):
+    kernel = make_kernel(n_processors=4)
+    run_program(kernel, MergeSort(n=300, n_threads=4, seed=seed))
+
+
+def test_already_sorted_input():
+    prog = MergeSort(n=256, n_threads=4)
+    prog._input = np.arange(256, dtype=np.int64)
+    kernel = make_kernel(n_processors=4)
+    run_program(kernel, prog)
+
+
+def test_all_equal_input():
+    prog = MergeSort(n=256, n_threads=4)
+    prog._input = np.full(256, 7, dtype=np.int64)
+    kernel = make_kernel(n_processors=4)
+    run_program(kernel, prog)

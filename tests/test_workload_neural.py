@@ -1,0 +1,78 @@
+"""Tests for the neural-network simulator workload."""
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.workloads.neural import SCALE, NeuralNetSimulator
+
+
+def test_runs_and_counts_updates():
+    kernel = make_kernel(n_processors=4)
+    prog = NeuralNetSimulator(n_units=8, epochs=3, n_threads=4)
+    run_program(kernel, prog)
+    assert prog.stats.unit_updates == 8 * 3
+
+
+def test_single_processor_run():
+    kernel = make_kernel(n_processors=2)
+    prog = NeuralNetSimulator(n_units=8, epochs=2, n_threads=1)
+    result = run_program(kernel, prog)
+    assert result.sim_time_ns > 0
+
+
+def test_threads_capped_at_units():
+    kernel = make_kernel(n_processors=8)
+    prog = NeuralNetSimulator(n_units=4, epochs=1, n_threads=8)
+    run_program(kernel, prog)
+    assert prog.p == 4
+
+
+def test_activations_bounded():
+    kernel = make_kernel(n_processors=4)
+    prog = NeuralNetSimulator(n_units=8, epochs=4, n_threads=4)
+    run_program(kernel, prog)
+    assert prog._final_activations is not None
+    assert abs(prog._final_activations).max() <= SCALE
+
+
+def test_shared_pages_freeze_under_fine_grain_sharing():
+    """Paper section 5.3: PLATINUM quickly gives up and the application's
+    data pages end up frozen in place."""
+    kernel = make_kernel(n_processors=4, defrost_enabled=False)
+    result = run_program(
+        kernel, NeuralNetSimulator(n_units=16, epochs=6, n_threads=4)
+    )
+    act_rows = [r for r in result.report.rows
+                if r.label.startswith(("act", "weights"))]
+    assert any(r.was_frozen for r in act_rows)
+
+
+def test_patterns_replicate_read_only():
+    kernel = make_kernel(n_processors=4, defrost_enabled=False)
+    result = run_program(
+        kernel, NeuralNetSimulator(n_units=16, epochs=6, n_threads=4)
+    )
+    pat_rows = [r for r in result.report.rows
+                if r.label.startswith("patterns") and r.faults > 0]
+    assert pat_rows
+    assert all(not r.was_frozen for r in pat_rows)
+    assert any(r.replications > 0 for r in pat_rows)
+
+
+def test_determinism_same_seed():
+    def run():
+        kernel = make_kernel(n_processors=4)
+        prog = NeuralNetSimulator(n_units=8, epochs=3, n_threads=4,
+                                  seed=7)
+        result = run_program(kernel, prog)
+        acts = prog._final_activations
+        return result.sim_time_ns, (
+            acts.tolist() if acts is not None else []
+        )
+
+    assert run() == run()
+
+
+def test_too_few_units_rejected():
+    with pytest.raises(ValueError):
+        NeuralNetSimulator(n_units=1)
