@@ -1,0 +1,268 @@
+"""Trace conformance: replay a protocol event stream against Figure 4.
+
+``core/protocol.py`` holds the declarative transition relation the live
+fault handler is specified by; ``core/trace.py`` records what the
+handler actually did.  This module closes the loop: it replays a
+recorded event stream through a shadow copy of every page's protocol
+state and reports the **first divergence** from the specification --
+the event, the shadow state, and the expected versus actual successor.
+
+What is checked, per event kind:
+
+* ``fault`` -- the recorded ``from`` state must match the shadow state
+  (a mismatch means a state change happened outside any recorded
+  protocol action); the (state, access, handler action) triple must
+  name a row of the transition table; and the recorded ``to`` state
+  must be that row's successor.
+* ``freeze`` -- only a single-copy page may freeze, and never twice.
+* ``thaw`` -- only a frozen page thaws; a defrost thaw leaves the page
+  ``present1`` (its translations are invalidated, its one copy kept).
+* ``transfer`` -- block transfers never source an ``empty`` page and
+  never copy a module's frame onto itself.
+
+The replay walks events in **record order**, not timestamp order: a
+fault event is stamped with the fault's *start* time (a thread's logical
+clock may lag the engine), while the directory mutations happen in the
+order the handler actually ran -- which is the order events were
+recorded.  Replaying a time-sorted view would see causally-ordered
+transitions as out of order.
+
+One deliberate allowance beyond the Figure 4 table: a *frozen* page
+hands out full-rights remote mappings (section 3.3), so a **read** fault
+answered with ``remote_map`` may move a frozen page to ``modified``.
+The table's read rows keep the state unchanged because they describe
+unfrozen pages; the checker permits the frozen variant explicitly
+rather than widening the specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..core.cpage import CpageState
+from ..core.protocol import TRANSITIONS
+from ..core.trace import EventKind, ProtocolTracer, TraceEvent
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where the trace left the specification."""
+
+    event: TraceEvent
+    reason: str
+    expected: str
+    actual: str
+
+    def describe(self) -> str:
+        return (
+            f"divergence at {self.event.time / 1e6:.3f} ms "
+            f"({self.event.kind.value}"
+            + (
+                f", cpage {self.event.cpage_index}"
+                if self.event.cpage_index is not None
+                else ""
+            )
+            + f"): {self.reason}\n"
+            f"  expected: {self.expected}\n"
+            f"  actual:   {self.actual}"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of replaying one trace against the transition table."""
+
+    n_events: int
+    n_faults: int
+    divergence: Optional[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"conformance ok: {self.n_faults} faults "
+                f"({self.n_events} events) match the Figure 4 table"
+            )
+        return (
+            f"conformance FAILED after {self.n_faults} faults "
+            f"({self.n_events} events):\n{self.divergence.describe()}"
+        )
+
+
+class ConformanceChecker:
+    """Replays traces; one instance may replay many traces."""
+
+    def replay(
+        self, events: Iterable[TraceEvent]
+    ) -> ConformanceReport:
+        events = list(events)
+        # thaw-on-fault records the FAULT first, then THAW(via=fault) at
+        # the same timestamp: pre-index those so the fault itself can be
+        # judged against the already-thawed page.
+        fault_thaws = {
+            (e.time, e.cpage_index)
+            for e in events
+            if e.kind is EventKind.THAW and e.detail.get("via") == "fault"
+        }
+        state: dict[int, CpageState] = {}
+        frozen: dict[int, bool] = {}
+        n_events = 0
+        n_faults = 0
+        divergence: Optional[Divergence] = None
+        for event in events:
+            n_events += 1
+            if event.kind is EventKind.FAULT:
+                n_faults += 1
+                divergence = self._check_fault(
+                    event, state, frozen, fault_thaws
+                )
+            elif event.kind is EventKind.FREEZE:
+                divergence = self._check_freeze(event, state, frozen)
+            elif event.kind is EventKind.THAW:
+                divergence = self._check_thaw(event, state, frozen)
+            elif event.kind is EventKind.TRANSFER:
+                divergence = self._check_transfer(event, state, frozen)
+            if divergence is not None:
+                break
+        return ConformanceReport(n_events, n_faults, divergence)
+
+    # -- per-event-kind checks ------------------------------------------------
+
+    def _check_fault(self, event, state, frozen, fault_thaws):
+        idx = event.cpage_index
+        write = bool(event.detail["write"])
+        action = event.detail["action"]
+        from_state = CpageState(event.detail["from"])
+        to_state = CpageState(event.detail["to"])
+        shadow = state.get(idx, CpageState.EMPTY)
+        if shadow is not from_state:
+            return Divergence(
+                event,
+                "fault 'from' state disagrees with the replayed history "
+                "(a state change happened outside recorded protocol "
+                "actions)",
+                f"state {shadow.value}",
+                f"state {from_state.value}",
+            )
+        was_frozen = frozen.get(idx, False)
+        if was_frozen and (event.time, idx) in fault_thaws:
+            # thaw-on-fault: the policy thawed before acting
+            frozen[idx] = False
+            was_frozen = False
+        if was_frozen and action in ("replicate", "migrate"):
+            return Divergence(
+                event,
+                "frozen page was cached (frozen pages never replicate "
+                "or migrate, section 4.2)",
+                "remote_map",
+                action,
+            )
+        successors = {
+            tr.next_state
+            for tr in TRANSITIONS
+            if tr.state is from_state
+            and tr.write == write
+            and tr.work == action
+        }
+        kind = "write" if write else "read"
+        if to_state not in successors:
+            # the frozen full-rights remote mapping (section 3.3): a
+            # read remote_map on a frozen page may install write rights
+            frozen_full_rights = (
+                was_frozen
+                and not write
+                and action == "remote_map"
+                and to_state is CpageState.MODIFIED
+            )
+            if not frozen_full_rights:
+                expected = (
+                    " or ".join(
+                        sorted(s.value for s in successors)
+                    )
+                    if successors
+                    else f"no transition for {from_state.value} "
+                    f"--{kind} miss--> via {action!r}"
+                )
+                return Divergence(
+                    event,
+                    f"{kind} fault action {action!r} reached a successor "
+                    "state the transition table does not allow",
+                    expected,
+                    to_state.value,
+                )
+        state[idx] = to_state
+        return None
+
+    def _check_freeze(self, event, state, frozen):
+        idx = event.cpage_index
+        if frozen.get(idx, False):
+            return Divergence(
+                event, "freeze of an already-frozen page",
+                "an unfrozen page", "frozen",
+            )
+        shadow = state.get(idx, CpageState.EMPTY)
+        if shadow in (CpageState.EMPTY, CpageState.PRESENT_PLUS):
+            return Divergence(
+                event,
+                "freeze requires exactly one physical copy",
+                "present1 or modified",
+                shadow.value,
+            )
+        frozen[idx] = True
+        return None
+
+    def _check_thaw(self, event, state, frozen):
+        idx = event.cpage_index
+        via = event.detail.get("via")
+        if via == "fault":
+            # already applied while judging the fault at this timestamp
+            frozen[idx] = False
+            return None
+        if not frozen.get(idx, False):
+            return Divergence(
+                event, "defrost thaw of a page that was not frozen",
+                "a frozen page", "unfrozen",
+            )
+        frozen[idx] = False
+        # the daemon invalidates every mapping but keeps the single copy
+        state[idx] = CpageState.PRESENT1
+        return None
+
+    def _check_transfer(self, event, state, frozen):
+        # a transfer is recorded mid-handler, *before* its causing fault
+        # event, so the shadow state here is the pre-fault state; frozen
+        # caching is judged at the fault, where the action is known
+        idx = event.cpage_index
+        if state.get(idx, CpageState.EMPTY) is CpageState.EMPTY:
+            return Divergence(
+                event, "block transfer of a page with no copies",
+                "a non-empty page", "empty",
+            )
+        src = event.detail.get("src")
+        dst = event.detail.get("dst")
+        if src is not None and src == dst:
+            return Divergence(
+                event, "block transfer from a module onto itself",
+                "distinct source and destination modules",
+                f"module {src} -> module {dst}",
+            )
+        return None
+
+
+def check_trace(
+    trace: Union[ProtocolTracer, Iterable[TraceEvent]],
+) -> ConformanceReport:
+    """Replay a tracer (or raw event list) against the Figure 4 table.
+
+    Events are replayed in record order (see the module docstring); the
+    trace must be complete from boot -- a ring-buffer trace that has
+    evicted events will report a spurious state-history divergence.
+    """
+    events = (
+        list(trace.events) if isinstance(trace, ProtocolTracer) else trace
+    )
+    return ConformanceChecker().replay(events)

@@ -11,6 +11,9 @@
     python -m repro speedup neural
     python -m repro compare -n 400         # the section 5.1 three systems
     python -m repro trace -n 48 -p 4       # a traced run's protocol log
+    python -m repro check invariants       # invariant-checked workloads
+    python -m repro check conformance      # trace replay vs Figure 4
+    python -m repro check fuzz --seeds 100 # seeded schedule fuzzing
 
 All output is plain text on stdout; every command is deterministic.
 """
@@ -193,6 +196,119 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_workloads(machine: int):
+    """The small workload battery the check commands run: every
+    protocol behaviour class (replication, migration, freeze, defrost
+    thaw, thaw-on-fault) in a few hundred milliseconds of wall time."""
+    from .core.policy import TimestampFreezePolicy
+    from .workloads import PhaseChangeSharing, RoundRobinSharing
+
+    return [
+        (
+            "round-robin-sharing",
+            lambda: make_kernel(n_processors=machine, trace=True),
+            lambda: RoundRobinSharing(n_threads=4, operations=16),
+        ),
+        (
+            "phase-change-sharing",
+            lambda: make_kernel(
+                n_processors=machine, trace=True, defrost_period=30e6
+            ),
+            lambda: PhaseChangeSharing(n_threads=4),
+        ),
+        (
+            "gauss-16",
+            lambda: make_kernel(n_processors=machine, trace=True),
+            lambda: GaussianElimination(n=16, n_threads=4),
+        ),
+        (
+            "gauss-16-thaw-on-fault",
+            lambda: make_kernel(
+                n_processors=machine,
+                trace=True,
+                policy=TimestampFreezePolicy(thaw_on_fault=True),
+            ),
+            lambda: GaussianElimination(n=16, n_threads=4),
+        ),
+        (
+            "mergesort-256",
+            lambda: make_kernel(n_processors=machine, trace=True),
+            lambda: MergeSort(n=256, n_threads=4),
+        ),
+    ]
+
+
+def _cmd_check_invariants(args: argparse.Namespace) -> int:
+    from .check import InvariantViolation, install_invariant_checker
+
+    failed = 0
+    for name, make_k, make_p in _check_workloads(args.machine):
+        kernel = make_k()
+        checker = install_invariant_checker(kernel.coherent)
+        try:
+            run_program(kernel, make_p())
+        except InvariantViolation as exc:
+            failed += 1
+            print(f"{name}: FAILED after {checker.checks} sweeps -- {exc}")
+        else:
+            print(
+                f"{name}: ok -- {checker.checks} invariant sweeps, "
+                "0 violations"
+            )
+    if failed:
+        print(f"\n{failed} workload(s) violated the coherence invariants")
+        return 1
+    print("\nall workloads hold the coherence invariants")
+    return 0
+
+
+def _cmd_check_conformance(args: argparse.Namespace) -> int:
+    from .check import check_trace
+
+    failed = 0
+    for name, make_k, make_p in _check_workloads(args.machine):
+        kernel = make_k()
+        run_program(kernel, make_p())
+        report = check_trace(kernel.tracer)
+        print(f"{name}: {report.describe()}")
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"\n{failed} trace(s) diverged from the Figure 4 table")
+        return 1
+    print("\nall traces conform to the Figure 4 transition table")
+    return 0
+
+
+def _cmd_check_fuzz(args: argparse.Namespace) -> int:
+    from .check import fuzz
+
+    for name in ("seeds", "ops", "procs", "pages"):
+        if getattr(args, name) < 1:
+            print(f"repro check fuzz: --{name} must be at least 1")
+            return 2
+
+    def progress(seed, outcome):
+        if args.verbose:
+            status = "ok" if outcome.ok else "FAILED"
+            print(
+                f"seed {seed}: {status} ({outcome.ops_run} ops, "
+                f"{outcome.checks} sweeps)"
+            )
+
+    report = fuzz(
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        n_ops=args.ops,
+        n_processors=args.procs,
+        n_pages=args.pages,
+        shrink=args.shrink,
+        progress=progress,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -266,6 +382,53 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("-n", type=int, default=400, help="matrix size")
     cp.add_argument("--machine", type=int, default=16)
     cp.set_defaults(fn=_cmd_compare)
+
+    ck = sub.add_parser(
+        "check",
+        help="the coherence conformance harness (invariants, trace "
+        "conformance, schedule fuzzing)",
+    )
+    cksub = ck.add_subparsers(dest="check_mode", required=True)
+
+    cki = cksub.add_parser(
+        "invariants",
+        help="run the workload battery with the global invariant "
+        "checker hooked after every protocol action",
+    )
+    cki.add_argument("--machine", type=int, default=8,
+                     help="processors in the simulated machine")
+    cki.set_defaults(fn=_cmd_check_invariants)
+
+    ckc = cksub.add_parser(
+        "conformance",
+        help="replay traced workload runs against the Figure 4 "
+        "transition table",
+    )
+    ckc.add_argument("--machine", type=int, default=8,
+                     help="processors in the simulated machine")
+    ckc.set_defaults(fn=_cmd_check_conformance)
+
+    ckf = cksub.add_parser(
+        "fuzz",
+        help="run seeded random schedules under perturbed event "
+        "orderings with invariants enabled",
+    )
+    ckf.add_argument("--seeds", type=int, default=100,
+                     help="number of seeded schedules to run")
+    ckf.add_argument("--ops", type=int, default=40,
+                     help="operations per schedule")
+    ckf.add_argument("--procs", type=int, default=3,
+                     help="processors in the fuzz kernel")
+    ckf.add_argument("--pages", type=int, default=3,
+                     help="shared coherent pages in the schedule")
+    ckf.add_argument("--base-seed", type=int, default=0,
+                     help="first seed (seeds are base..base+N-1)")
+    ckf.add_argument("--no-shrink", dest="shrink", action="store_false",
+                     help="report failing schedules without delta-"
+                     "debugging them to a minimal reproduction")
+    ckf.add_argument("-v", "--verbose", action="store_true",
+                     help="print one line per seed")
+    ckf.set_defaults(fn=_cmd_check_fuzz)
 
     return parser
 

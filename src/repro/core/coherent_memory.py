@@ -9,7 +9,7 @@ facade; the processor execution layer below delivers faults to it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
@@ -58,6 +58,23 @@ class CoherentMemorySystem:
         #: reference counts' that competitive placement (section 8)
         #: depends on.  PLATINUM itself leaves this off.
         self.reference_counting = False
+
+    # -- protocol hooks -----------------------------------------------------------
+
+    def add_protocol_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` after every protocol action (fault, shootdown,
+        Cmap-queue application, thaw).  The state is consistent at every
+        call site; the ``repro.check`` invariant checker installs itself
+        this way."""
+        for component in (self.fault_handler, self.shootdown, self.defrost):
+            component.post_action_hooks.append(hook)
+
+    def remove_protocol_hook(self, hook: Callable[[], None]) -> None:
+        for component in (self.fault_handler, self.shootdown, self.defrost):
+            try:
+                component.post_action_hooks.remove(hook)
+            except ValueError:
+                pass
 
     # -- Cmap / mapping management (called by the VM layer) --------------------
 

@@ -15,7 +15,7 @@ every thawed page would immediately re-freeze on its next fault.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
@@ -49,6 +49,9 @@ class DefrostDaemon:
         self.runs = 0
         self.pages_thawed = 0
         self._scheduled = False
+        #: called after every thawed page and every daemon run (the
+        #: repro.check invariant checker hooks here)
+        self.post_action_hooks: list[Callable[[], None]] = []
 
     def start(self) -> None:
         """Schedule the periodic clock interrupt."""
@@ -76,6 +79,8 @@ class DefrostDaemon:
         self.tracer.record(
             now, EventKind.DEFROST_RUN, None, None, thawed=thawed
         )
+        for hook in self.post_action_hooks:
+            hook()
         return thawed
 
     def thaw_page(self, cpage: Cpage, now: int) -> None:
@@ -103,3 +108,5 @@ class DefrostDaemon:
         self.tracer.record(
             now, EventKind.THAW, cpage.index, initiator, via="defrost"
         )
+        for hook in self.post_action_hooks:
+            hook()

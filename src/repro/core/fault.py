@@ -21,6 +21,7 @@ faulting processor resumes and retries its access then.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..machine.machine import Machine
 from ..machine.memory import Frame, OutOfFramesError
@@ -64,6 +65,9 @@ class CoherentFaultHandler:
         self.policy = policy
         self.tracer = tracer if tracer is not None else ProtocolTracer()
         self.fault_count = 0
+        #: called after every completed fault, with the directory in a
+        #: consistent state (the repro.check invariant checker hooks here)
+        self.post_action_hooks: list[Callable[[], None]] = []
 
     # -- entry point -----------------------------------------------------------
 
@@ -138,6 +142,8 @@ class CoherentFaultHandler:
                     now, EventKind.THAW, cpage.index, proc,
                     via="fault"
                 )
+        for hook in self.post_action_hooks:
+            hook()
         return FaultResult(completion=t, action=action, contention_wait=wait)
 
     # -- read faults -------------------------------------------------------------

@@ -18,7 +18,7 @@ to it as a pending penalty (see ``repro.machine.interrupts``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
@@ -56,6 +56,9 @@ class ShootdownMechanism:
         self.shootdowns = 0
         self.total_interrupted = 0
         self.total_deferred = 0
+        #: called after every completed shootdown / queue application
+        #: (the repro.check invariant checker hooks here)
+        self.post_action_hooks: list[Callable[[], None]] = []
 
     # -- protocol-driven shootdowns (by Cpage) --------------------------------
 
@@ -110,6 +113,8 @@ class ShootdownMechanism:
             interrupted=len(result.interrupted),
             deferred=len(result.deferred),
         )
+        for hook in self.post_action_hooks:
+            hook()
         return result
 
     def _shoot_one(
@@ -210,6 +215,9 @@ class ShootdownMechanism:
         cost = (
             self.machine.params.ipi_target_cost if pending else 0.0
         )
+        if pending:
+            for hook in self.post_action_hooks:
+                hook()
         return len(pending), cost
 
     # -- VM-driven shootdowns (by virtual range) ---------------------------------
@@ -249,6 +257,8 @@ class ShootdownMechanism:
         self.shootdowns += 1
         self.total_interrupted += len(interrupted)
         self.total_deferred += len(deferred)
+        for hook in self.post_action_hooks:
+            hook()
         return result
 
 

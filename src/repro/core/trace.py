@@ -12,14 +12,21 @@ timeline.
 Tracing is off by default (it retains every event in memory); enable it
 per kernel with ``make_kernel(trace=True)`` or
 ``kernel.coherent.tracer.enable()``.
+
+Two retention modes bound memory.  The default keeps the *first*
+``max_events`` events and counts the rest as ``dropped`` -- right for
+short runs where the interesting activity is at the start.  Ring mode
+(``ProtocolTracer(ring=True)`` or :meth:`ProtocolTracer.use_ring`) keeps
+the *last* ``max_events``, evicting the oldest -- right for long fuzz or
+soak runs where only the window leading up to a failure matters.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, MutableSequence, Optional
 
 
 class EventKind(enum.Enum):
@@ -57,10 +64,18 @@ class TraceEvent:
 class ProtocolTracer:
     """Collects protocol events; disabled tracers cost one branch."""
 
-    def __init__(self, enabled: bool = False, max_events: int = 1_000_000):
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_events: int = 1_000_000,
+        ring: bool = False,
+    ):
         self.enabled = enabled
         self.max_events = max_events
-        self.events: list[TraceEvent] = []
+        self.ring = ring
+        self.events: MutableSequence[TraceEvent] = (
+            deque(maxlen=max_events) if ring else []
+        )
         self.dropped = 0
 
     def enable(self) -> None:
@@ -68,6 +83,19 @@ class ProtocolTracer:
 
     def disable(self) -> None:
         self.enabled = False
+
+    def use_ring(self, max_events: Optional[int] = None) -> None:
+        """Switch to ring-buffer retention, keeping the newest events.
+
+        Already-recorded events beyond the cap are evicted oldest-first
+        and counted as ``dropped``.
+        """
+        if max_events is not None:
+            self.max_events = max_events
+        self.ring = True
+        before = len(self.events)
+        self.events = deque(self.events, maxlen=self.max_events)
+        self.dropped += before - len(self.events)
 
     def clear(self) -> None:
         self.events.clear()
@@ -85,7 +113,8 @@ class ProtocolTracer:
             return
         if len(self.events) >= self.max_events:
             self.dropped += 1
-            return
+            if not self.ring:
+                return
         self.events.append(
             TraceEvent(time, kind, cpage_index, processor, detail)
         )
@@ -140,7 +169,11 @@ class ProtocolTracer:
         lines = [header]
         lines.extend(e.describe() for e in events[:limit])
         if self.dropped:
-            lines.append(f"... {self.dropped} events dropped at the cap")
+            lines.append(
+                f"... {self.dropped} oldest events evicted (ring mode)"
+                if self.ring
+                else f"... {self.dropped} events dropped at the cap"
+            )
         return "\n".join(lines)
 
     def transitions_of(self, cpage_index: int) -> list[tuple[str, str]]:

@@ -13,6 +13,7 @@ one :class:`Engine` instance.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Callable, Optional
 
 
@@ -27,14 +28,32 @@ class Engine:
     Time is measured in integer nanoseconds.  Fractional delays are allowed
     as inputs and rounded to the nearest nanosecond so that timestamps stay
     exact and comparisons deterministic.
+
+    Ordering among events that share a timestamp is normally insertion
+    order.  The schedule fuzzer (``repro.check.fuzz``) calls
+    :meth:`perturb_ties` with a seeded RNG to explore other legal
+    interleavings of same-timestamp events; a given seed still yields a
+    fully deterministic run.
     """
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._queue: list[
+            tuple[int, float, int, Callable[[], None]]
+        ] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        self._tie_rng: Optional[random.Random] = None
+
+    def perturb_ties(self, rng: Optional[random.Random]) -> None:
+        """Randomize execution order among same-timestamp events.
+
+        ``rng`` draws a tie-breaking priority for every subsequently
+        scheduled event; events at different timestamps are unaffected.
+        Pass ``None`` to restore pure insertion order.
+        """
+        self._tie_rng = rng
 
     @property
     def now(self) -> int:
@@ -55,7 +74,8 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {when} ns; now is {self._now} ns"
             )
-        heapq.heappush(self._queue, (when, self._seq, fn))
+        prio = self._tie_rng.random() if self._tie_rng is not None else 0.0
+        heapq.heappush(self._queue, (when, prio, self._seq, fn))
         self._seq += 1
 
     def stop(self) -> None:
@@ -76,7 +96,7 @@ class Engine:
         """Execute the next pending event.  Returns False if none remain."""
         if not self._queue:
             return False
-        when, _seq, fn = heapq.heappop(self._queue)
+        when, _prio, _seq, fn = heapq.heappop(self._queue)
         self._now = when
         fn()
         return True

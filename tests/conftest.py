@@ -103,3 +103,39 @@ def harness():
 @pytest.fixture
 def freeze_harness():
     return make_harness(policy="freeze")
+
+
+# -- optional suite-wide invariant checking -----------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-invariants",
+        action="store_true",
+        default=False,
+        help="hook the repro.check global coherence invariant checker "
+        "into every coherent memory system the suite builds, so every "
+        "protocol action in every test is invariant-checked",
+    )
+
+
+def _patch_invariant_install(monkeypatch):
+    """Make every CoherentMemorySystem built while patched self-install
+    the invariant checker as a post-action protocol hook."""
+    from repro.check import install_invariant_checker
+    from repro.core.coherent_memory import CoherentMemorySystem
+
+    original = CoherentMemorySystem.__init__
+
+    def patched(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        install_invariant_checker(self)
+
+    monkeypatch.setattr(CoherentMemorySystem, "__init__", patched)
+
+
+@pytest.fixture(autouse=True)
+def _suite_invariant_checking(request, monkeypatch):
+    if request.config.getoption("--check-invariants"):
+        _patch_invariant_install(monkeypatch)
+    yield

@@ -107,6 +107,40 @@ def test_event_cap_drops_and_reports():
     assert "dropped" in tracer.timeline()
 
 
+def test_ring_mode_keeps_newest_events():
+    tracer = ProtocolTracer(enabled=True, max_events=3, ring=True)
+    for i in range(7):
+        tracer.record(i, EventKind.FAULT, 0, 0)
+    assert len(tracer) == 3
+    assert [e.time for e in tracer.events] == [4, 5, 6]  # oldest evicted
+    assert tracer.dropped == 4
+    assert "evicted" in tracer.timeline()
+
+
+def test_use_ring_converts_and_evicts_existing_events():
+    tracer = ProtocolTracer(enabled=True)
+    for i in range(6):
+        tracer.record(i, EventKind.FAULT, 0, 0)
+    tracer.use_ring(max_events=2)
+    assert [e.time for e in tracer.events] == [4, 5]
+    assert tracer.dropped == 4
+    # and it keeps rolling: new events evict the oldest retained
+    tracer.record(9, EventKind.FAULT, 0, 0)
+    assert [e.time for e in tracer.events] == [5, 9]
+    assert tracer.dropped == 5
+
+
+def test_ring_clear_resets_and_keeps_capacity():
+    tracer = ProtocolTracer(enabled=True, max_events=2, ring=True)
+    for i in range(4):
+        tracer.record(i, EventKind.FAULT, 0, 0)
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+    for i in range(3):
+        tracer.record(i, EventKind.FAULT, 0, 0)
+    assert [e.time for e in tracer.events] == [1, 2]
+
+
 def test_tracing_full_application_run():
     kernel = make_kernel(n_processors=4, trace=True)
     run_program(

@@ -20,6 +20,17 @@ from repro.runtime import (
 )
 from repro.workloads import GaussianElimination, MergeSort
 
+from tests.conftest import _patch_invariant_install
+
+
+@pytest.fixture(autouse=True)
+def _always_check_invariants(monkeypatch):
+    """Integration runs always carry the full invariant checker: every
+    protocol action of every whole-program test is swept (the rest of
+    the suite opts in with ``--check-invariants``)."""
+    _patch_invariant_install(monkeypatch)
+    yield
+
 
 ALL_POLICIES = [
     TimestampFreezePolicy,
