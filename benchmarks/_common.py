@@ -2,8 +2,13 @@
 
 Every ``bench_*`` target regenerates one table or figure of the paper's
 evaluation (see DESIGN.md section 3).  Results are printed into the
-pytest terminal summary and saved under ``benchmarks/results/`` so the
-EXPERIMENTS.md paper-vs-measured record can be assembled from a run.
+pytest terminal summary and saved under ``benchmarks/results/`` -- as
+plain text, and (when the target passes structured data) as a
+machine-readable ``BENCH_<name>.json`` document in the ``repro-bench/1``
+schema (see :mod:`repro.bench.schema`), so the repo's perf trajectory
+can be diffed PR-over-PR.  The same schema is emitted by the
+``repro bench`` sweep runner; the pytest benchmarks and the sweep are
+two front ends to one result format.
 
 Set ``REPRO_FULL=1`` to run the paper-scale inputs (e.g. the 800x800
 Gaussian elimination); the default sizes preserve every curve's shape at
@@ -14,6 +19,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -24,11 +30,77 @@ FULL = os.environ.get("REPRO_FULL", "") == "1"
 REPORTS: list[tuple[str, str]] = []
 
 
-def publish(name: str, text: str) -> None:
-    """Record a finished experiment's report."""
+def publish(
+    name: str,
+    text: str,
+    *,
+    config: Optional[dict] = None,
+    points: Optional[list[dict]] = None,
+    derived: Optional[dict] = None,
+    wall_clock_s: float = 0.0,
+) -> None:
+    """Record a finished experiment's report.
+
+    ``text`` is always written to ``results/<name>.txt``.  When the
+    caller also passes structured data (``points`` and/or ``derived``),
+    a validated ``BENCH_<name>.json`` document is written next to it.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     REPORTS.append((name, text))
+    if points is None and derived is None:
+        return
+    from repro.analysis import aggregate_counters
+    from repro.bench.schema import make_doc, write_bench
+
+    points = points or []
+    metrics = [
+        p["metrics"] for p in points
+        if p.get("ok") and isinstance(p.get("metrics"), dict)
+    ]
+    write_bench(RESULTS_DIR, make_doc(
+        target=name,
+        title=text.splitlines()[0].strip() if text else name,
+        scale="full" if FULL else "quick",
+        config=config or {},
+        points=points,
+        derived=derived or {},
+        counters=aggregate_counters(metrics),
+        wall_clock_s=round(wall_clock_s, 4),
+        jobs=1,
+    ))
+
+
+def point(name: str, metrics: dict, config: Optional[dict] = None) -> dict:
+    """One successful BENCH point (seed/wall are not meaningful for the
+    pytest-benchmark front end and are recorded as zero)."""
+    return {
+        "name": name,
+        "config": config or {},
+        "metrics": metrics,
+        "error": None,
+        "ok": True,
+        "seed": 0,
+        "wall_s": 0.0,
+    }
+
+
+def curve_points(curve) -> list[dict]:
+    """BENCH points for a :class:`repro.analysis.SpeedupCurve`, with
+    full run counters wherever the curve kept its results."""
+    from repro.analysis import run_counters
+
+    out = []
+    for pt in curve.points:
+        metrics = pt.to_dict()
+        if pt.result is not None:
+            metrics.update(run_counters(pt.result))
+        out.append(point(
+            f"p={pt.processors}",
+            metrics,
+            config={"processors": pt.processors},
+        ))
+    return out
 
 
 def gauss_n() -> int:

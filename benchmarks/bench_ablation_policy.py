@@ -150,4 +150,14 @@ def test_policy_ablations(benchmark):
         grid[("neural (fine-grain)", "freeze (PLATINUM)")]
         < grid[("neural (fine-grain)", "always-replicate")]
     )
-    publish("ablation_policy", text)
+    publish(
+        "ablation_policy", text,
+        derived={
+            "t1_sweep_ms": {str(t1): tm for t1, tm in rows},
+            "variants_ms": dict(variants),
+            "matrix_ms": {
+                f"{pname} / {wname}": v
+                for (wname, pname), v in grid.items()
+            },
+        },
+    )

@@ -121,4 +121,14 @@ def test_related_work_ablation(benchmark):
     # single-copy migration schemes cannot do at all
     platinum, competitive, _ = policies["read-shared table"]
     assert platinum < competitive * 0.7, (platinum, competitive)
-    publish("ablation_related_work", text)
+    publish(
+        "ablation_related_work", text,
+        derived={
+            "flavours": {
+                w: {"platinum_ms": p, "competitive_ms": c,
+                    "pages_moved": int(moved)}
+                for w, (p, c, moved) in policies.items()
+            },
+            "page_size_ms": {str(b): t for b, t in page_sizes},
+        },
+    )

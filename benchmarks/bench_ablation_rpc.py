@@ -202,4 +202,17 @@ def test_three_options(benchmark):
     for rho, times in rows:
         better = min(times["remote access"], times["move the data"])
         assert times["PLATINUM policy"] <= better * 1.35, (rho, times)
-    publish("ablation_rpc_three_options", text)
+    publish(
+        "ablation_rpc_three_options", text,
+        config={"n_threads": N_THREADS, "operations": OPERATIONS,
+                "s_words": S_WORDS},
+        derived={
+            "time_ms_by_rho": {
+                str(rho): dict(times) for rho, times in rows
+            },
+            "winner_by_rho": {
+                str(rho): min(times, key=times.get)
+                for rho, times in rows
+            },
+        },
+    )

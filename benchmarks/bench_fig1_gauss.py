@@ -7,7 +7,7 @@ amortizes the per-round pivot-replication cost over less work, so its
 16-processor speedup sits a little below the paper's.
 """
 
-from _common import FULL, gauss_n, processor_counts, publish
+from _common import FULL, curve_points, gauss_n, processor_counts, publish
 
 from repro.analysis import ascii_plot, measure_speedup
 from repro.workloads import GaussianElimination
@@ -75,4 +75,10 @@ def test_figure1_gauss_speedup(benchmark):
     speedups = curve.speedups
     assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
     assert curve.at(16).speedup > (10.0 if FULL else 6.0)
-    publish("fig1_gauss", text)
+    publish(
+        "fig1_gauss", text,
+        config={"n": n, "machine": 16,
+                "counts": list(curve.processors)},
+        points=curve_points(curve),
+        derived={"curve": curve.to_dict()},
+    )

@@ -63,4 +63,9 @@ def _render() -> str:
 def test_figure4_transitions(benchmark):
     text = benchmark.pedantic(_render, rounds=1, iterations=1)
     assert "FAIL" not in text
-    publish("fig4_transitions", text)
+    n_checks = sum(1 for line in text.splitlines()
+                   if line.lstrip().startswith("ok"))
+    publish(
+        "fig4_transitions", text,
+        derived={"live_checks_ok": True, "live_checks": n_checks},
+    )

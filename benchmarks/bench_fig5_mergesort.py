@@ -13,7 +13,7 @@ Sequent's at every processor count, both flattening as the tree's serial
 top levels dominate.
 """
 
-from _common import mergesort_n, processor_counts, publish
+from _common import mergesort_n, point, processor_counts, publish
 
 from repro.analysis import ascii_plot, format_table, measure_speedup
 from repro.baselines import run_on_sequent
@@ -83,4 +83,20 @@ def test_figure5_mergesort(benchmark):
         assert platinum.at(p).speedup > sequent[p], (
             f"PLATINUM must beat the Sequent at p={p}"
         )
-    publish("fig5_mergesort", text)
+    publish(
+        "fig5_mergesort", text,
+        config={"n": n, "machine": 16, "counts": list(counts)},
+        points=[
+            point(f"platinum p={p}", platinum.at(p).to_dict(),
+                  config={"processors": p})
+            for p in counts
+        ] + [
+            point(f"sequent p={p}", {"speedup": sequent[p]},
+                  config={"processors": p})
+            for p in counts
+        ],
+        derived={
+            "platinum": platinum.to_dict(),
+            "sequent_speedups": {str(p): sequent[p] for p in counts},
+        },
+    )

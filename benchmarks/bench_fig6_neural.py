@@ -12,7 +12,7 @@ the training-pattern pages (read-only) replicate, and the speedup stays
 roughly linear with slope ~1/2 over the small-p range.
 """
 
-from _common import publish
+from _common import curve_points, publish
 
 from repro.analysis import ascii_plot, measure_speedup
 from repro.runtime import make_kernel, run_program
@@ -87,4 +87,9 @@ def test_figure6_neural_speedup(benchmark):
     for pt in mid:
         slope = pt.speedup / pt.processors
         assert 0.3 <= slope <= 0.75, (pt.processors, slope)
-    publish("fig6_neural", text)
+    publish(
+        "fig6_neural", text,
+        config={"counts": list(curve.processors)},
+        points=curve_points(curve),
+        derived={"curve": curve.to_dict()},
+    )

@@ -112,4 +112,12 @@ def test_section42_colocated_lock_anecdote(benchmark):
         data["co-located, defrost"]["remote_words"]
         < data["co-located, no defrost"]["remote_words"]
     )
-    publish("sec42_anecdote", text)
+    publish(
+        "sec42_anecdote", text,
+        config={"n": N, "machine": 8, "defrost_period_ms": 20.0},
+        derived={"configs": {
+            name: {k: (int(v) if isinstance(v, int) else v)
+                   for k, v in d.items()}
+            for name, d in data.items()
+        }},
+    )

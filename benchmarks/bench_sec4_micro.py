@@ -8,7 +8,7 @@ Paper values (16-processor Butterfly Plus):
   incremental cost per extra processor ..... <= 17 us (Mach: 55 us)
 """
 
-from _common import publish
+from _common import point, publish
 
 from repro.analysis import compare_to_paper
 from repro.workloads import (
@@ -25,60 +25,91 @@ MS = 1e6
 US = 1e3
 
 
-def _render() -> str:
+def _measure() -> dict:
+    costs = measure_shootdown_increment(max_targets=15)
+    increments = [(b - a) / US for a, b in zip(costs, costs[1:])]
+    return {
+        "page_copy_ms": measure_page_copy() / MS,
+        "read_miss_clean_local_ms": measure_read_miss_clean(True) / MS,
+        "read_miss_clean_remote_ms": measure_read_miss_clean(False) / MS,
+        "read_miss_modified_local_ms":
+            measure_read_miss_modified(True) / MS,
+        "read_miss_modified_remote_ms":
+            measure_read_miss_modified(False) / MS,
+        "write_miss_present_plus_ms":
+            measure_write_miss_present_plus() / MS,
+        "upgrade_write_ms": measure_upgrade_write() / MS,
+        "remote_map_write_ms": measure_remote_map_write() / MS,
+        "shootdown_increment_us": max(increments),
+        "shootdown_costs_ms": [c / MS for c in costs],
+    }
+
+
+def _render(m: dict) -> str:
     lines = ["Section 4 microbenchmarks (paper range vs measured)", ""]
     lines.append(compare_to_paper(
         "block transfer, one 4KB page",
-        measure_page_copy() / MS, 1.11, unit=" ms",
+        m["page_copy_ms"], 1.11, unit=" ms",
     ))
     lines.append(compare_to_paper(
         "read miss, replicate non-modified (local md)",
-        measure_read_miss_clean(True) / MS, 1.34, 1.38, unit=" ms",
+        m["read_miss_clean_local_ms"], 1.34, 1.38, unit=" ms",
     ))
     lines.append(compare_to_paper(
         "read miss, replicate non-modified (remote md)",
-        measure_read_miss_clean(False) / MS, 1.34, 1.38, unit=" ms",
+        m["read_miss_clean_remote_ms"], 1.34, 1.38, unit=" ms",
     ))
     lines.append(compare_to_paper(
         "read miss, replicate modified (local md)",
-        measure_read_miss_modified(True) / MS, 1.38, 1.59, unit=" ms",
+        m["read_miss_modified_local_ms"], 1.38, 1.59, unit=" ms",
     ))
     lines.append(compare_to_paper(
         "read miss, replicate modified (remote md)",
-        measure_read_miss_modified(False) / MS, 1.38, 1.59, unit=" ms",
+        m["read_miss_modified_remote_ms"], 1.38, 1.59, unit=" ms",
     ))
     lines.append(compare_to_paper(
         "write miss on present+ (1 IPI, 1 page freed)",
-        measure_write_miss_present_plus() / MS, 0.25, 0.45, unit=" ms",
+        m["write_miss_present_plus_ms"], 0.25, 0.45, unit=" ms",
     ))
-    costs = measure_shootdown_increment(max_targets=15)
-    increments = [(b - a) / US for a, b in zip(costs, costs[1:])]
     lines.append(compare_to_paper(
         "incremental cost per extra processor (max)",
-        max(increments), 0.0, 17.0, unit=" us",
+        m["shootdown_increment_us"], 0.0, 17.0, unit=" us",
     ))
     lines.append(compare_to_paper(
         "  (vs Mach on a 16-cpu Multimax)",
-        max(increments), 0.0, 55.0, unit=" us",
+        m["shootdown_increment_us"], 0.0, 55.0, unit=" us",
     ))
     lines += [
         "",
         "additional protocol-path costs (no paper figure):",
         f"  present1 -> modified upgrade by holder: "
-        f"{measure_upgrade_write() / MS:.3f} ms "
+        f"{m['upgrade_write_ms']:.3f} ms "
         "(no shootdown, no copy)",
         f"  remote write mapping instead of migration: "
-        f"{measure_remote_map_write() / MS:.3f} ms",
+        f"{m['remote_map_write_ms']:.3f} ms",
         "",
         "write-miss collapse latency vs replicas invalidated:",
         "  " + "  ".join(
-            f"{i + 1}:{c / MS:.3f}ms" for i, c in enumerate(costs[:8])
+            f"{i + 1}:{c:.3f}ms"
+            for i, c in enumerate(m["shootdown_costs_ms"][:8])
         ),
     ]
     return "\n".join(lines)
 
 
 def test_section4_microbenchmarks(benchmark):
-    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = _render(data)
     assert "OUT-OF-RANGE" not in text
-    publish("sec4_micro", text)
+    publish(
+        "sec4_micro", text,
+        points=[point("micro", data)],
+        derived={
+            "paper_range_ms": {
+                "page_copy": [1.11, 1.11],
+                "read_miss_clean": [1.34, 1.38],
+                "read_miss_modified": [1.38, 1.59],
+                "write_miss_present_plus": [0.25, 0.45],
+            },
+        },
+    )

@@ -11,7 +11,7 @@ paper also notes the PLATINUM program needs far less code (17 lines of
 elimination code vs 41 for the US and 64 for SMP).
 """
 
-from _common import publish
+from _common import point, publish
 
 from repro.analysis import format_table
 from repro.baselines import (
@@ -102,4 +102,18 @@ def test_section51_three_system_comparison(benchmark):
         < measured["PLATINUM"][0]
         < measured["SMP"][0]
     )
-    publish("sec51_comparison", text)
+    publish(
+        "sec51_comparison", text,
+        config={"n": n, "machine": 16},
+        points=[
+            point(f"{name} p={p}", {"sim_time_ns": int(t)},
+                  config={"system": name, "processors": p})
+            for name, (_speedup, times) in measured.items()
+            for p, t in sorted(times.items())
+        ],
+        derived={
+            "speedups": {name: sp for name, (sp, _t) in
+                         measured.items()},
+            "paper_speedups": dict(PAPER),
+        },
+    )

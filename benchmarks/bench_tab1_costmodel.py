@@ -63,4 +63,14 @@ def _render() -> str:
 
 def test_table1(benchmark):
     text = benchmark.pedantic(_render, rounds=1, iterations=1)
-    publish("tab1_costmodel", text)
+    model = MigrationCostModel.paper_constants()
+    publish(
+        "tab1_costmodel", text,
+        config={"rhos": list(TABLE1_RHOS), "gs": list(TABLE1_GS)},
+        derived={
+            "table": {str(rho): list(row)
+                      for rho, row in model.table1().items()},
+            "density_coefficient": model.density_coefficient,
+            "numerator_coefficient": model.numerator_coefficient,
+        },
+    )

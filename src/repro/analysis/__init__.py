@@ -1,12 +1,15 @@
 """Analytic models and measurement utilities for the evaluation."""
 
 from .costmodel import (
+    COUNTER_FIELDS,
     MigrationCostModel,
     TABLE1_GS,
     TABLE1_PUBLISHED,
     TABLE1_RHOS,
+    aggregate_counters,
     crossover_validation,
     g_round_robin,
+    run_counters,
 )
 from .report import ascii_plot, compare_to_paper, format_table
 from .speedup import SpeedupCurve, SpeedupPoint, measure_speedup
@@ -18,15 +21,18 @@ from .visualize import (
 )
 
 __all__ = [
+    "COUNTER_FIELDS",
     "MigrationCostModel",
     "SpeedupCurve",
     "SpeedupPoint",
     "TABLE1_GS",
     "TABLE1_PUBLISHED",
     "TABLE1_RHOS",
+    "aggregate_counters",
     "ascii_plot",
     "compare_to_paper",
     "crossover_validation",
+    "run_counters",
     "event_rate",
     "format_table",
     "g_round_robin",

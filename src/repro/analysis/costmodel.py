@@ -110,17 +110,30 @@ class MigrationCostModel:
         """Time saved per reference by being local: T_r - T_l."""
         return self.t_remote - self.t_local
 
+    def _require_span(self) -> float:
+        """Guard every ``1 / span`` ratio: a machine whose remote
+        references are not slower than local ones has no migration
+        economics at all, and silently dividing by zero (or producing a
+        negative "coefficient") would poison every downstream table."""
+        span = self.span
+        if span <= 0:
+            raise ValueError(
+                f"migration cost model needs t_remote > t_local "
+                f"(got t_remote={self.t_remote}, t_local={self.t_local})"
+            )
+        return span
+
     @property
     def density_coefficient(self) -> float:
         """T_b / (T_r - T_l): the paper's most important architectural
         ratio; it lower-bounds the density at which migration can ever
         pay (paper: ~0.24)."""
-        return self.t_block / self.span
+        return self.t_block / self._require_span()
 
     @property
     def numerator_coefficient(self) -> float:
         """F / (T_r - T_l), in words per unit g (paper: ~107)."""
-        return self.fixed_overhead / self.span
+        return self.fixed_overhead / self._require_span()
 
     def remote_cost(self, s: float, rho: float) -> float:
         return rho * s * self.t_remote
@@ -190,3 +203,82 @@ def crossover_validation(
         + model.local_cost(s, rho),
         "local_only": model.local_cost(s, rho),
     }
+
+
+# -- counter aggregation ------------------------------------------------------
+#
+# Every benchmark point reduces a finished run to the same flat, JSON-able
+# counter dict, and a sweep reduces many of those to one aggregate.  The
+# BENCH_*.json trajectory (see ``repro.bench``) is built entirely from
+# these two functions, so PR-over-PR comparisons use one vocabulary.
+
+#: additive counters extracted from a run (everything else is derived)
+COUNTER_FIELDS = (
+    "faults",
+    "read_faults",
+    "write_faults",
+    "replications",
+    "migrations",
+    "invalidations",
+    "remote_mappings",
+    "freezes",
+    "local_words",
+    "remote_words",
+    "transfers",
+    "shootdowns",
+    "ipis",
+)
+
+
+def run_counters(result) -> dict:
+    """Reduce one :class:`~repro.runtime.run.RunResult` (or anything with
+    its ``sim_time_ns`` / ``report`` shape) to a flat counter dict."""
+    report = result.report
+    rows = report.rows
+    counters = {
+        "sim_time_ns": int(result.sim_time_ns),
+        "faults": sum(r.faults for r in rows),
+        "read_faults": sum(r.read_faults for r in rows),
+        "write_faults": sum(r.write_faults for r in rows),
+        "replications": sum(r.replications for r in rows),
+        "migrations": sum(r.migrations for r in rows),
+        "invalidations": sum(r.invalidations for r in rows),
+        "remote_mappings": sum(r.remote_mappings for r in rows),
+        "freezes": sum(1 for r in rows if r.was_frozen),
+        "local_words": report.local_words,
+        "remote_words": report.remote_words,
+        "queue_delay_ms": report.queue_delay_ms,
+        "transfers": report.transfers,
+        "shootdowns": report.shootdowns,
+        "ipis": report.ipis,
+    }
+    words = counters["local_words"] + counters["remote_words"]
+    counters["remote_fraction"] = (
+        counters["remote_words"] / words if words else 0.0
+    )
+    return counters
+
+
+def aggregate_counters(counter_dicts) -> dict:
+    """Sum a sweep's per-point counter dicts into one aggregate.
+
+    Additive fields are summed; ``sim_time_ns`` and ``queue_delay_ms``
+    are summed as total simulated work; ``remote_fraction`` is recomputed
+    from the summed word counts (never averaged -- an empty or zero-fault
+    sweep must not divide by zero).
+    """
+    counter_dicts = [c for c in counter_dicts if c]
+    total: dict = {f: 0 for f in COUNTER_FIELDS}
+    total["sim_time_ns"] = 0
+    total["queue_delay_ms"] = 0.0
+    for c in counter_dicts:
+        for field in COUNTER_FIELDS:
+            total[field] += c.get(field, 0)
+        total["sim_time_ns"] += c.get("sim_time_ns", 0)
+        total["queue_delay_ms"] += c.get("queue_delay_ms", 0.0)
+    words = total["local_words"] + total["remote_words"]
+    total["remote_fraction"] = (
+        total["remote_words"] / words if words else 0.0
+    )
+    total["points"] = len(counter_dicts)
+    return total

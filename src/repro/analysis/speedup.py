@@ -31,7 +31,18 @@ class SpeedupPoint:
 
     @property
     def efficiency(self) -> float:
+        if self.processors <= 0:
+            return 0.0
         return self.speedup / self.processors
+
+    def to_dict(self) -> dict:
+        """JSON-able form (drops the heavyweight RunResult)."""
+        return {
+            "processors": self.processors,
+            "sim_time_ns": self.sim_time_ns,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+        }
 
 
 @dataclass
@@ -54,6 +65,44 @@ class SpeedupCurve:
             if pt.processors == p:
                 return pt
         raise KeyError(f"no measurement at p={p}")
+
+    def to_dict(self) -> dict:
+        """JSON-able form, used by the BENCH_*.json trajectory."""
+        return {
+            "label": self.label,
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+    @classmethod
+    def from_times(
+        cls, label: str, times: dict[int, int], baseline: Optional[int] = None
+    ) -> "SpeedupCurve":
+        """Build a curve from raw ``{processors: sim_time_ns}`` pairs.
+
+        ``baseline`` defaults to the smallest processor count measured;
+        speedup is normalized so speedup(baseline) == baseline, as in
+        :func:`measure_speedup`.  Zero times produce speedup 0 rather
+        than dividing by zero.
+        """
+        if not times:
+            raise ValueError("need at least one measurement")
+        counts = sorted(times)
+        if baseline is None:
+            baseline = counts[0]
+        if baseline not in times:
+            raise ValueError(f"baseline p={baseline} was not measured")
+        base_time = times[baseline] * baseline
+        curve = cls(label=label)
+        for p in counts:
+            t = times[p]
+            curve.points.append(
+                SpeedupPoint(
+                    processors=p,
+                    sim_time_ns=t,
+                    speedup=base_time / t if t else 0.0,
+                )
+            )
+        return curve
 
     def format(self) -> str:
         lines = [

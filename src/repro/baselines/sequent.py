@@ -174,6 +174,8 @@ class SequentAPI:
 class SequentThreadProcess(Process):
     """Interprets runtime operations against the UMA machine."""
 
+    __slots__ = ("machine", "proc", "cpu")
+
     def __init__(self, machine: SequentMachine, spec: _SequentSpec,
                  cpu: FifoResource) -> None:
         super().__init__(machine.engine, spec.body,

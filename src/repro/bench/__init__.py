@@ -1,0 +1,73 @@
+"""The parallel benchmark sweep: targets, schema and runner.
+
+``repro bench`` (see :mod:`repro.cli`) expands every benchmark target --
+one per paper figure/table plus the repo's ablations -- into a flat list
+of independent, deterministic simulation points, shards them across
+worker processes, and writes one machine-readable ``BENCH_<target>.json``
+per target (plus a text report) to ``benchmarks/results/``.
+
+Submodules
+----------
+``schema``
+    The ``repro-bench/1`` document format, validator and I/O helpers.
+``sweep``
+    The process-parallel task runner (timeouts, seeding, degradation).
+``targets``
+    The target registry and the ``execute_point`` dispatcher.
+``runner``
+    Orchestration: targets -> sweep -> validated documents on disk.
+"""
+
+from .runner import (
+    DEFAULT_RESULTS_DIR,
+    render_text,
+    run_bench,
+    run_target,
+    select_targets,
+    summarize,
+    write_results,
+)
+from .schema import (
+    SCHEMA,
+    bench_path,
+    load_bench,
+    make_doc,
+    strip_wall_clock,
+    validate_bench,
+    write_bench,
+)
+from .sweep import (
+    SweepRunner,
+    Task,
+    TaskResult,
+    make_tasks,
+    run_sweep,
+    task_seed,
+)
+from .targets import TARGETS, execute_point, target_names
+
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "SCHEMA",
+    "SweepRunner",
+    "TARGETS",
+    "Task",
+    "TaskResult",
+    "bench_path",
+    "execute_point",
+    "load_bench",
+    "make_doc",
+    "make_tasks",
+    "render_text",
+    "run_bench",
+    "run_sweep",
+    "run_target",
+    "select_targets",
+    "strip_wall_clock",
+    "summarize",
+    "target_names",
+    "task_seed",
+    "validate_bench",
+    "write_bench",
+    "write_results",
+]

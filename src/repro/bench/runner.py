@@ -1,0 +1,225 @@
+"""Orchestrate benchmark targets into ``BENCH_<target>.json`` documents.
+
+All selected targets are expanded into one flat task list and run
+through a single :class:`~repro.bench.sweep.SweepRunner`, so a
+``--jobs 4`` sweep keeps its workers busy across target boundaries (the
+single-point analytic targets would otherwise serialize the sweep).
+Results are grouped back per target, reduced by the target's ``derive``
+function, validated against the schema and written to the results
+directory as JSON plus a small text report.
+
+Per-task seeds are derived from the fully qualified ``target::point``
+name, so a point's seed is identical whether it runs through
+:func:`run_bench`, :func:`run_target`, serially or in parallel.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..analysis.costmodel import aggregate_counters
+from .schema import make_doc, validate_bench, write_bench
+from .sweep import SweepRunner, Task, TaskResult, task_seed
+from . import targets as _targets  # noqa: F401  (warm import: fork
+# children inherit the loaded simulator instead of re-importing it)
+from .targets import TARGETS, BenchTarget
+
+#: default per-point wall-clock timeout by scale (seconds)
+DEFAULT_TIMEOUT_S = {"smoke": 120.0, "quick": 600.0, "full": 3600.0}
+
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def select_targets(filter_pattern: Optional[str] = None) -> list[str]:
+    """Target names matching ``--filter`` (substring or fnmatch glob)."""
+    names = list(TARGETS)
+    if not filter_pattern:
+        return names
+    return [
+        name
+        for name in names
+        if filter_pattern in name
+        or fnmatch.fnmatch(name, filter_pattern)
+    ]
+
+
+def _build_tasks(
+    names: list[str],
+    scale: str,
+    base_seed: int,
+    timeout_s: Optional[float],
+) -> tuple[list[Task], dict[str, dict], dict[str, dict]]:
+    """Expand targets into one flat, uniquely named task list.
+
+    Returns (tasks, {target: config}, {task name: spec}).
+    """
+    if timeout_s is None:
+        timeout_s = DEFAULT_TIMEOUT_S[scale]
+    tasks: list[Task] = []
+    configs: dict[str, dict] = {}
+    specs: dict[str, dict] = {}
+    for name in names:
+        target = TARGETS[name]
+        config, points = target.points(scale)
+        configs[name] = config
+        for point_name, spec in points:
+            full = f"{name}::{point_name}"
+            specs[full] = spec
+            tasks.append(Task(
+                name=full,
+                spec=spec,
+                seed=task_seed(base_seed, full),
+                timeout_s=timeout_s,
+            ))
+    return tasks, configs, specs
+
+
+def _group_results(
+    names: list[str],
+    results: list[TaskResult],
+    configs: dict[str, dict],
+    specs: dict[str, dict],
+    scale: str,
+    jobs: int,
+) -> dict[str, dict]:
+    """Reduce flat sweep results into one BENCH document per target."""
+    by_target: dict[str, list[TaskResult]] = {name: [] for name in names}
+    for result in results:
+        target_name, _, _point = result.name.partition("::")
+        by_target[target_name].append(result)
+    docs: dict[str, dict] = {}
+    for name in names:
+        target: BenchTarget = TARGETS[name]
+        target_results = by_target[name]
+        points = []
+        ok_metrics: dict[str, dict] = {}
+        for result in target_results:
+            _, _, point_name = result.name.partition("::")
+            point = result.to_point(config=specs[result.name])
+            point["name"] = point_name
+            points.append(point)
+            if result.ok:
+                ok_metrics[point_name] = result.value
+        docs[name] = make_doc(
+            target=name,
+            title=target.title,
+            scale=scale,
+            config=configs[name],
+            points=points,
+            derived=target.derive(ok_metrics),
+            counters=aggregate_counters(ok_metrics.values()),
+            wall_clock_s=round(
+                sum(r.wall_s for r in target_results), 4
+            ),
+            jobs=jobs,
+        )
+    return docs
+
+
+def run_bench(
+    scale: str = "quick",
+    jobs: int = 1,
+    filter_pattern: Optional[str] = None,
+    base_seed: int = 0,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+) -> tuple[dict[str, dict], "SweepRunner"]:
+    """Run every selected target as one combined sweep.
+
+    Returns ``({target: BENCH document}, runner)`` -- the runner carries
+    the ``degraded`` flag for callers that report on it.
+    """
+    names = select_targets(filter_pattern)
+    if not names:
+        raise ValueError(
+            f"--filter {filter_pattern!r} matches no target "
+            f"(have: {', '.join(TARGETS)})"
+        )
+    tasks, configs, specs = _build_tasks(
+        names, scale, base_seed, timeout_s
+    )
+    runner = SweepRunner(jobs=jobs, progress=progress)
+    results = runner.run(tasks)
+    docs = _group_results(names, results, configs, specs, scale, jobs)
+    return docs, runner
+
+
+def run_target(
+    name: str,
+    scale: str = "quick",
+    jobs: int = 1,
+    base_seed: int = 0,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+) -> dict:
+    """Run one target and return its BENCH document."""
+    docs, _runner = run_bench(
+        scale=scale,
+        jobs=jobs,
+        filter_pattern=name,
+        base_seed=base_seed,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return docs[name]
+
+
+def render_text(doc: dict) -> str:
+    """A small human-readable report for one BENCH document."""
+    lines = [
+        f"{doc['target']} -- {doc['title']}",
+        f"scale={doc['scale']}  points={len(doc['points'])}  "
+        f"wall={doc['wall_clock_s']:.2f}s  jobs={doc['jobs']}",
+        "",
+    ]
+    for point in doc["points"]:
+        if point["ok"]:
+            m = point["metrics"]
+            detail = (
+                f"{m['sim_time_ms']:.3f} ms simulated"
+                if isinstance(m, dict) and "sim_time_ms" in m
+                else "ok"
+            )
+        else:
+            detail = "FAILED: " + (point["error"] or "?").strip()
+            detail = detail.splitlines()[-1]
+        lines.append(
+            f"  {point['name']:<28} {detail}  ({point['wall_s']:.2f}s)"
+        )
+    if doc["derived"]:
+        lines.append("")
+        lines.append("derived:")
+        for key, value in doc["derived"].items():
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines) + "\n"
+
+
+def write_results(
+    docs: dict[str, dict],
+    results_dir: Path,
+) -> list[Path]:
+    """Validate and write every document (JSON + text report)."""
+    results_dir = Path(results_dir)
+    written: list[Path] = []
+    for name, doc in docs.items():
+        written.append(write_bench(results_dir, doc))
+        text_path = results_dir / f"{name}.txt"
+        text_path.write_text(render_text(doc))
+        written.append(text_path)
+    return written
+
+
+def summarize(docs: dict[str, dict]) -> tuple[int, int, list[str]]:
+    """(total points, failed points, schema problems) over documents."""
+    total = failed = 0
+    problems: list[str] = []
+    for name, doc in docs.items():
+        for point in doc["points"]:
+            total += 1
+            if not point["ok"]:
+                failed += 1
+        problems += [f"{name}: {p}" for p in validate_bench(doc)]
+    return total, failed, problems

@@ -1,0 +1,183 @@
+"""The machine-readable benchmark result format: ``BENCH_<target>.json``.
+
+One document per benchmark target per run.  The shape is deliberately
+small and stable so results stay comparable PR-over-PR (the repo's perf
+trajectory) and so CI can fail on malformed output:
+
+::
+
+    {
+      "schema": "repro-bench/1",
+      "target": "fig1_gauss",            # snake_case target name
+      "title": "...",                    # human description
+      "scale": "quick" | "full" | "smoke",
+      "config": {...},                   # target-level configuration
+      "points": [                        # one entry per swept config
+        {"name": "p=4", "config": {...},
+         "metrics": {...},               # counters: sim_time_ns, faults...
+         "seed": 123, "wall_s": 0.41, "ok": true, "error": null}
+      ],
+      "derived": {...},                  # curves/tables computed from points
+      "counters": {...},                 # aggregate_counters over all points
+      "wall_clock_s": 1.9,               # total wall clock for the target
+      "jobs": 4                          # sweep parallelism used
+    }
+
+``wall_clock_s``, ``jobs`` and each point's ``wall_s`` are the only
+fields allowed to differ between a serial and a parallel run of the same
+sweep; everything else is deterministic (see WALL_CLOCK_FIELDS and
+:func:`strip_wall_clock`).
+
+No external JSON-schema package is required: :func:`validate_bench` is a
+small structural checker returning a list of problems (empty == valid).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+#: current schema identifier; bump on incompatible changes
+SCHEMA = "repro-bench/1"
+
+#: allowed values of the "scale" field
+SCALES = ("smoke", "quick", "full")
+
+#: fields that may legitimately differ between runs of the same sweep
+WALL_CLOCK_FIELDS = ("wall_clock_s", "jobs")
+POINT_WALL_CLOCK_FIELDS = ("wall_s",)
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Structurally validate one BENCH document.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is valid.
+    """
+    problems: list[str] = []
+
+    def need(obj: dict, key: str, types, where: str) -> bool:
+        if key not in obj:
+            problems.append(f"{where}: missing required field {key!r}")
+            return False
+        if not isinstance(obj[key], types):
+            problems.append(
+                f"{where}.{key}: expected {types}, got "
+                f"{type(obj[key]).__name__}"
+            )
+            return False
+        return True
+
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if need(doc, "schema", str, "doc") and doc["schema"] != SCHEMA:
+        problems.append(
+            f"doc.schema: expected {SCHEMA!r}, got {doc['schema']!r}"
+        )
+    need(doc, "target", str, "doc")
+    need(doc, "title", str, "doc")
+    if need(doc, "scale", str, "doc") and doc["scale"] not in SCALES:
+        problems.append(
+            f"doc.scale: expected one of {SCALES}, got {doc['scale']!r}"
+        )
+    need(doc, "config", dict, "doc")
+    need(doc, "derived", dict, "doc")
+    need(doc, "counters", dict, "doc")
+    need(doc, "wall_clock_s", (int, float), "doc")
+    need(doc, "jobs", int, "doc")
+    if need(doc, "points", list, "doc"):
+        for i, point in enumerate(doc["points"]):
+            where = f"doc.points[{i}]"
+            if not isinstance(point, dict):
+                problems.append(f"{where}: expected object")
+                continue
+            need(point, "name", str, where)
+            need(point, "config", dict, where)
+            need(point, "wall_s", (int, float), where)
+            need(point, "seed", int, where)
+            if need(point, "ok", bool, where):
+                if point["ok"]:
+                    need(point, "metrics", dict, where)
+                elif not isinstance(point.get("error"), str):
+                    problems.append(
+                        f"{where}: failed point must carry an "
+                        "'error' string"
+                    )
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"doc is not JSON-serializable: {exc}")
+    return problems
+
+
+def strip_wall_clock(doc: dict) -> dict:
+    """A deep copy of the document with every wall-clock-dependent field
+    removed -- two runs of the same deterministic sweep must compare equal
+    after this, whatever the parallelism."""
+    out = json.loads(json.dumps(doc))
+    for field in WALL_CLOCK_FIELDS:
+        out.pop(field, None)
+    for point in out.get("points", []):
+        if isinstance(point, dict):
+            for field in POINT_WALL_CLOCK_FIELDS:
+                point.pop(field, None)
+    return out
+
+
+def bench_path(results_dir: Path, target: str) -> Path:
+    return Path(results_dir) / f"BENCH_{target}.json"
+
+
+def write_bench(results_dir: Path, doc: dict) -> Path:
+    """Validate and write one BENCH document; returns the path written."""
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid BENCH document for "
+            f"{doc.get('target')!r}: " + "; ".join(problems)
+        )
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = bench_path(results_dir, doc["target"])
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Path) -> dict:
+    """Load and validate a BENCH document from disk."""
+    doc = json.loads(Path(path).read_text())
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    return doc
+
+
+def make_doc(
+    target: str,
+    title: str,
+    scale: str,
+    config: dict,
+    points: list[dict],
+    derived: dict,
+    counters: dict,
+    wall_clock_s: float,
+    jobs: int,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble a BENCH document (validation happens on write)."""
+    doc = {
+        "schema": SCHEMA,
+        "target": target,
+        "title": title,
+        "scale": scale,
+        "config": config,
+        "points": points,
+        "derived": derived,
+        "counters": counters,
+        "wall_clock_s": wall_clock_s,
+        "jobs": jobs,
+    }
+    if extra:
+        doc.update(extra)
+    return doc

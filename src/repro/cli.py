@@ -11,6 +11,7 @@
     python -m repro speedup neural
     python -m repro compare -n 400         # the section 5.1 three systems
     python -m repro trace -n 48 -p 4       # a traced run's protocol log
+    python -m repro bench --quick --jobs 4 # the parallel benchmark sweep
     python -m repro check invariants       # invariant-checked workloads
     python -m repro check conformance      # trace replay vs Figure 4
     python -m repro check fuzz --seeds 100 # seeded schedule fuzzing
@@ -238,6 +239,55 @@ def _check_workloads(machine: int):
     ]
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import run_bench, summarize, write_results
+
+    scale = "full" if args.full else ("smoke" if args.smoke else "quick")
+
+    def progress(result):
+        status = "ok" if result.ok else (
+            "TIMEOUT" if result.timed_out else "FAILED"
+        )
+        print(f"  {result.name:<44} {status:>7} {result.wall_s:8.2f}s",
+              flush=True)
+
+    import time as _time
+
+    t0 = _time.perf_counter()
+    try:
+        docs, runner = run_bench(
+            scale=scale,
+            jobs=args.jobs,
+            filter_pattern=args.filter,
+            base_seed=args.base_seed,
+            timeout_s=args.timeout,
+            progress=progress if not args.quiet else None,
+        )
+    except ValueError as exc:
+        print(f"repro bench: {exc}")
+        return 2
+    wall = _time.perf_counter() - t0
+    out_dir = Path(args.out)
+    written = write_results(docs, out_dir)
+    total, failed, problems = summarize(docs)
+    print()
+    print(f"bench {scale}: {len(docs)} target(s), {total} point(s), "
+          f"{failed} failed, {wall:.1f}s wall "
+          f"(jobs={args.jobs}"
+          + (", degraded to serial" if runner.degraded else "") + ")")
+    for path in written:
+        if path.suffix == ".json":
+            print(f"  wrote {path}")
+    if problems:
+        print("\nschema problems:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    return 1 if failed else 0
+
+
 def _cmd_check_invariants(args: argparse.Namespace) -> int:
     from .check import InvariantViolation, install_invariant_checker
 
@@ -382,6 +432,38 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("-n", type=int, default=400, help="matrix size")
     cp.add_argument("--machine", type=int, default=16)
     cp.set_defaults(fn=_cmd_compare)
+
+    be = sub.add_parser(
+        "bench",
+        help="run the benchmark sweep and write BENCH_<target>.json "
+        "documents",
+    )
+    scale_group = be.add_mutually_exclusive_group()
+    scale_group.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized problem sizes (the default)")
+    scale_group.add_argument(
+        "--full", action="store_true",
+        help="the paper's problem sizes (slow)")
+    scale_group.add_argument(
+        "--smoke", action="store_true",
+        help="tiny problem sizes (test-suite use)")
+    be.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = serial, the default)")
+    be.add_argument("--filter", default=None, metavar="PAT",
+                    help="only targets whose name contains or "
+                    "glob-matches PAT")
+    be.add_argument("--out", default="benchmarks/results",
+                    help="results directory "
+                    "(default: benchmarks/results)")
+    be.add_argument("--base-seed", type=int, default=0,
+                    help="base seed folded into every per-point seed")
+    be.add_argument("--timeout", type=float, default=None,
+                    help="per-point wall-clock timeout in seconds "
+                    "(default depends on scale)")
+    be.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the per-point progress lines")
+    be.set_defaults(fn=_cmd_bench)
 
     ck = sub.add_parser(
         "check",

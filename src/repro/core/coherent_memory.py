@@ -139,12 +139,15 @@ class CoherentMemorySystem:
     def note_remote_access(
         self, cpage_index: int, proc: int, n_words: int
     ) -> None:
-        """Record remote traffic to a page (reference-count hardware)."""
+        """Record remote traffic to a page (reference-count hardware).
+
+        Called once per contiguous batched run, not per word: the whole
+        run is a single pair of counter updates.
+        """
         cpage = self.cpages.get(cpage_index)
+        counts = cpage.remote_counts
         cpage.stats.remote_access_words += n_words
-        cpage.remote_counts[proc] = (
-            cpage.remote_counts.get(proc, 0) + n_words
-        )
+        counts[proc] = counts.get(proc, 0) + n_words
 
     # -- introspection ----------------------------------------------------------------
 

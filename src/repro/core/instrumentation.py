@@ -152,9 +152,9 @@ def build_report(
     return MemoryReport(
         rows=rows,
         sim_time_ms=machine.now / 1e6,
-        local_words=int(machine.local_words.sum()),
-        remote_words=int(machine.remote_words.sum()),
-        queue_delay_ms=float(machine.queue_delay_ns.sum()) / 1e6,
+        local_words=int(sum(machine.local_words)),
+        remote_words=int(sum(machine.remote_words)),
+        queue_delay_ms=float(sum(machine.queue_delay_ns)) / 1e6,
         ipis=totals["ipis_received"],
         shootdowns=shootdowns,
         transfers=machine.xfer.transfer_count,

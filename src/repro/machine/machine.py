@@ -23,8 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from ..sim.engine import Engine
 from .blockxfer import BlockTransferEngine
 from .interrupts import InterruptController
@@ -35,7 +33,7 @@ from .pmap import InvertedPageTable
 from .topology import Topology, make_topology
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of costing one batched access."""
 
@@ -65,12 +63,12 @@ class Machine:
             self.engine, self.params, self.modules
         )
         self.interrupts = InterruptController(self.params)
-        # per-processor accounting of how simulated time was spent
-        self.local_words = np.zeros(self.params.n_processors, dtype=np.int64)
-        self.remote_words = np.zeros(self.params.n_processors, dtype=np.int64)
-        self.queue_delay_ns = np.zeros(
-            self.params.n_processors, dtype=np.int64
-        )
+        # per-processor accounting of how simulated time was spent.  One
+        # batched n-word access is one counter update (plain Python ints:
+        # numpy scalar indexing costs ~10x an int add on this hot path).
+        self.local_words: list[int] = [0] * self.params.n_processors
+        self.remote_words: list[int] = [0] * self.params.n_processors
+        self.queue_delay_ns: list[int] = [0] * self.params.n_processors
 
     def __repr__(self) -> str:
         return (
@@ -102,32 +100,36 @@ class Machine:
         p = self.params
         dst = frame.module_index
         remote = src_node != dst
-        route = self.topology.route(src_node, dst) if remote else []
+        module = self.modules[dst]
         t = now
-        for port in route:
-            _, t = port.occupy(t, n_words * p.t_switch_service)
-        _, t = self.modules[dst].bus.occupy(t, n_words * p.t_module_service)
         if remote:
+            route = self.topology.route(src_node, dst)
+            n_hops = len(route)
+            for port in route:
+                _, t = port.occupy(t, n_words * p.t_switch_service)
             t_word = p.t_remote_write if write else p.t_remote_read
         else:
+            n_hops = 0
             t_word = p.t_local
-        extra_per_word = max(
-            0.0,
-            t_word - p.t_module_service - len(route) * p.t_switch_service,
-        )
+        _, t = module.bus.occupy(t, n_words * p.t_module_service)
+        service_per_word = p.t_module_service + n_hops * p.t_switch_service
+        extra_per_word = t_word - service_per_word
+        if extra_per_word < 0.0:
+            extra_per_word = 0.0
         completion = int(round(t + n_words * extra_per_word))
-        service_floor = now + int(
-            round(
-                n_words
-                * (p.t_module_service + len(route) * p.t_switch_service)
-            )
-        )
-        queue_delay = max(0, t - service_floor)
+        service_floor = now + int(round(n_words * service_per_word))
+        queue_delay = t - service_floor
+        if queue_delay < 0:
+            queue_delay = 0
+        # batched accounting: the whole contiguous run is one counter
+        # update here and one on the serving module, however many words
         if remote:
             self.remote_words[src_node] += n_words
         else:
             self.local_words[src_node] += n_words
         self.queue_delay_ns[src_node] += queue_delay
+        module.words_served += n_words
+        module.accesses_served += 1
         return AccessOutcome(
             completion=completion,
             queue_delay=queue_delay,

@@ -85,12 +85,24 @@ class MemoryModule:
         self.bus = FifoResource(f"module[{index}].bus")
         self.alloc_count = 0
         self.free_count = 0
+        # batched word-access accounting: one contiguous n-word run
+        # through this module bumps each counter once, not n times
+        self.words_served = 0
+        self.accesses_served = 0
 
     def __repr__(self) -> str:
         return (
             f"<MemoryModule {self.index} free={self.n_free}/"
             f"{len(self.frames)}>"
         )
+
+    @property
+    def words_per_access(self) -> float:
+        """Mean batched-run length served (the batching win: every run
+        costs one accounting update regardless of length)."""
+        if self.accesses_served == 0:
+            return 0.0
+        return self.words_served / self.accesses_served
 
     @property
     def n_free(self) -> int:

@@ -37,6 +37,8 @@ class ExecutionError(RuntimeError):
 class ThreadProcess(Process):
     """Runs one user thread's generator in simulated time."""
 
+    __slots__ = ("kernel", "thread", "cpu")
+
     def __init__(
         self,
         kernel: Kernel,
@@ -157,6 +159,8 @@ class ThreadProcess(Process):
         if va < 0:
             raise ExecutionError(f"negative address {va}")
         wpp = self.kernel.machine.params.words_per_page
+        if va % wpp + n <= wpp:
+            return [(va, n)]
         runs = []
         while n > 0:
             offset = va % wpp
@@ -168,9 +172,14 @@ class ThreadProcess(Process):
 
     def _do_read(self, op: ops.Read) -> None:
         t = self._begin()
+        runs = self._split_runs(op.va, op.n)
+        if len(runs) == 1:
+            t, data = self._access_run(op.va, op.n, write=False, t=t)
+            self._commit(t, data.copy())
+            return
         out = np.empty(op.n, dtype=WORD_DTYPE)
         pos = 0
-        for va, take in self._split_runs(op.va, op.n):
+        for va, take in runs:
             t, data = self._access_run(va, take, write=False, t=t)
             out[pos: pos + take] = data
             pos += take

@@ -67,16 +67,34 @@ def run_program(
     for spec in api.thread_specs:
         cpu = _cpu_resource(kernel, spec.thread.processor)
         processes.append(ThreadProcess(kernel, spec.thread, spec.body, cpu))
+
+    # O(1) per-event completion tracking: counting finish callbacks beats
+    # scanning every process after every event (the scan was ~20% of a
+    # whole run's wall clock)
+    n_threads = len(processes)
+    state = {"finished": 0, "crashed": False}
+
+    def _note_finish(p: ThreadProcess) -> None:
+        state["finished"] += 1
+        if p.error is not None:
+            state["crashed"] = True
+
     for proc in processes:
+        proc.on_finish(_note_finish)
         proc.start()
 
     last_activity = [kernel.engine.now]
+    events_since_check = [0]
 
     def stop_when() -> bool:
-        if any(p.error is not None for p in processes):
+        if state["crashed"] or state["finished"] == n_threads:
             return True
-        if all(p.finished for p in processes):
-            return True
+        # the stall check scans every cpu resource; amortize it -- the
+        # stall limit is simulated seconds, so a 64-event granularity
+        # changes only how promptly the diagnostic fires
+        events_since_check[0] += 1
+        if events_since_check[0] & 63:
+            return False
         busy = max(
             (c.busy_until for c in getattr(
                 kernel, "_cpu_resources", {}).values()),

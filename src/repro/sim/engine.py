@@ -8,12 +8,25 @@ every run fully deterministic.
 Everything in the PLATINUM reproduction that needs a notion of time --
 processors, the defrost daemon, interprocessor interrupts -- runs on top of
 one :class:`Engine` instance.
+
+Hot path
+--------
+Events scheduled *at the current time* (zero-delay wakeups, immediate
+resumes) are the most common case in the executor, and pushing them through
+the heap costs two O(log n) sifts plus tuple comparisons for an ordering
+that is knowable in advance: a same-timestamp event scheduled now always
+runs after every already-queued event at this timestamp (its ``seq`` is
+larger) and before anything later.  So they go to a plain FIFO ``_ready``
+deque instead of the heap.  The fast path is bypassed whenever
+:meth:`perturb_ties` is active, because then same-timestamp order must
+follow the seeded priorities, not insertion order.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import Callable, Optional
 
 
@@ -34,17 +47,40 @@ class Engine:
     :meth:`perturb_ties` with a seeded RNG to explore other legal
     interleavings of same-timestamp events; a given seed still yields a
     fully deterministic run.
+
+    ``fast_path=False`` forces every event through the heap (the pre-
+    optimization behaviour); the determinism regression tests use it to
+    show the fast path changes no simulated result.
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_ready",
+        "_seq",
+        "_running",
+        "_stopped",
+        "_tie_rng",
+        "_fast_path",
+        "_no_fast_before",
+    )
+
+    def __init__(self, fast_path: bool = True) -> None:
         self._now: int = 0
         self._queue: list[
             tuple[int, float, int, Callable[[], None]]
         ] = []
+        #: (seq, fn) events at exactly ``_now``, in insertion order
+        self._ready: deque[tuple[int, Callable[[], None]]] = deque()
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self._tie_rng: Optional[random.Random] = None
+        self._fast_path = fast_path
+        # heap entries scheduled under a tie RNG carry random priorities;
+        # until the clock passes the last of them, same-timestamp inserts
+        # must keep going through the heap to order against them
+        self._no_fast_before: int = 0
 
     def perturb_ties(self, rng: Optional[random.Random]) -> None:
         """Randomize execution order among same-timestamp events.
@@ -53,6 +89,19 @@ class Engine:
         scheduled event; events at different timestamps are unaffected.
         Pass ``None`` to restore pure insertion order.
         """
+        if rng is not None and self._ready:
+            # pending fast-path events keep their insertion order (they
+            # were scheduled with priority 0.0) but must live in the heap
+            # to be ordered against randomly-prioritized newcomers
+            for seq, fn in self._ready:
+                heapq.heappush(self._queue, (self._now, 0.0, seq, fn))
+            self._ready.clear()
+        if rng is None and self._tie_rng is not None and self._queue:
+            # events already in the heap keep their random priorities;
+            # new same-timestamp events would previously have been pushed
+            # with priority 0.0 (running *before* them), so the fast path
+            # must stay off until the clock passes every perturbed entry
+            self._no_fast_before = max(e[0] for e in self._queue) + 1
         self._tie_rng = rng
 
     @property
@@ -64,19 +113,35 @@ class Engine:
         """Run ``fn()`` at ``now + delay`` nanoseconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        when = self._now + int(round(delay))
-        self.schedule_at(when, fn)
+        self.schedule_at(self._now + int(round(delay)), fn)
 
     def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``when`` nanoseconds."""
         when = int(round(when))
-        if when < self._now:
+        now = self._now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule at {when} ns; now is {self._now} ns"
+                f"cannot schedule at {when} ns; now is {now} ns"
             )
-        prio = self._tie_rng.random() if self._tie_rng is not None else 0.0
-        heapq.heappush(self._queue, (when, prio, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        rng = self._tie_rng
+        if rng is None:
+            if (
+                when == now
+                and self._fast_path
+                and now >= self._no_fast_before
+            ):
+                self._ready.append((seq, fn))
+                return
+            # inside the no-fast window, perturbed entries (random
+            # priorities in [0, 1)) may still share this timestamp;
+            # priority 1.0 keeps insertion order against them, 0.0 would
+            # jump ahead of them
+            prio = 1.0 if when < self._no_fast_before else 0.0
+            heapq.heappush(self._queue, (when, prio, seq, fn))
+        else:
+            heapq.heappush(self._queue, (when, rng.random(), seq, fn))
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""
@@ -84,20 +149,30 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._ready)
 
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None if the queue is empty."""
+        if self._ready:
+            return self._now
         if not self._queue:
             return None
         return self._queue[0][0]
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        if not self._queue:
+        queue = self._queue
+        ready = self._ready
+        # a heap entry at the current time always has a smaller seq than
+        # anything in the ready deque (the deque only receives events
+        # scheduled *at* the current time, after those heap pushes)
+        if queue and (not ready or queue[0][0] == self._now):
+            when, _prio, _seq, fn = heapq.heappop(queue)
+            self._now = when
+        elif ready:
+            _seq, fn = ready.popleft()
+        else:
             return False
-        when, _prio, _seq, fn = heapq.heappop(self._queue)
-        self._now = when
         fn()
         return True
 
@@ -127,13 +202,16 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        ready = self._ready
+        step = self.step
         try:
-            while self._queue and not self._stopped:
-                when = self._queue[0][0]
+            while (queue or ready) and not self._stopped:
+                when = self._now if ready else queue[0][0]
                 if until is not None and when > until:
                     self._now = int(round(until))
                     break
-                self.step()
+                step()
                 executed += 1
                 if max_events is not None and executed > max_events:
                     raise SimulationError(

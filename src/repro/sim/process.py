@@ -51,6 +51,18 @@ class Process:
     called exactly once (immediately or in a future event).
     """
 
+    __slots__ = (
+        "engine",
+        "gen",
+        "name",
+        "started",
+        "finished",
+        "result",
+        "error",
+        "finished_at",
+        "_on_finish",
+    )
+
     def __init__(
         self,
         engine: Engine,

@@ -1,0 +1,198 @@
+"""Edge cases for the analysis layer (speedup curves, the section 4.1
+cost model, and the counter vocabulary the BENCH trajectory rests on)."""
+
+import pytest
+
+from repro.analysis import (
+    MigrationCostModel,
+    SpeedupCurve,
+    aggregate_counters,
+    g_round_robin,
+    measure_speedup,
+    run_counters,
+)
+from repro.analysis.costmodel import COUNTER_FIELDS
+
+
+# -- SpeedupCurve -------------------------------------------------------------
+
+
+def test_from_times_requires_measurements():
+    with pytest.raises(ValueError, match="at least one"):
+        SpeedupCurve.from_times("empty", {})
+
+
+def test_from_times_rejects_missing_baseline():
+    with pytest.raises(ValueError, match="baseline p=4"):
+        SpeedupCurve.from_times("x", {1: 100, 2: 60}, baseline=4)
+
+
+def test_from_times_zero_time_yields_zero_speedup():
+    curve = SpeedupCurve.from_times("x", {1: 100, 2: 0})
+    assert curve.at(2).speedup == 0.0
+    assert curve.at(2).efficiency == 0.0
+
+
+def test_from_times_normalizes_to_baseline_count():
+    # baseline p=2: speedup(2) == 2, and half the time at p=4 doubles it
+    curve = SpeedupCurve.from_times("x", {2: 100, 4: 50})
+    assert curve.at(2).speedup == pytest.approx(2.0)
+    assert curve.at(4).speedup == pytest.approx(4.0)
+    assert curve.at(4).efficiency == pytest.approx(1.0)
+
+
+def test_curve_at_unmeasured_count_raises():
+    curve = SpeedupCurve.from_times("x", {1: 100})
+    with pytest.raises(KeyError, match="p=7"):
+        curve.at(7)
+
+
+def test_efficiency_guards_nonpositive_processors():
+    from repro.analysis.speedup import SpeedupPoint
+
+    assert SpeedupPoint(processors=0, sim_time_ns=1, speedup=1.0) \
+        .efficiency == 0.0
+
+
+def test_curve_roundtrips_to_dict():
+    curve = SpeedupCurve.from_times("label", {1: 200, 2: 100})
+    d = curve.to_dict()
+    assert d["label"] == "label"
+    assert [p["processors"] for p in d["points"]] == [1, 2]
+    assert all("efficiency" in p for p in d["points"])
+
+
+def test_measure_speedup_rejects_empty_counts():
+    with pytest.raises(ValueError, match="processor count"):
+        measure_speedup(lambda p: None, processor_counts=())
+
+
+def test_curve_format_is_printable():
+    text = SpeedupCurve.from_times("fmt", {1: 100, 2: 50}).format()
+    assert "fmt" in text and "speedup" in text
+
+
+# -- MigrationCostModel -------------------------------------------------------
+
+
+def test_g_round_robin_edges():
+    assert g_round_robin(2) == pytest.approx(2.0)
+    assert g_round_robin(100) == pytest.approx(100 / 99)
+    with pytest.raises(ValueError):
+        g_round_robin(1)
+
+
+def test_cost_model_rejects_degenerate_span():
+    flat = MigrationCostModel(
+        t_local=500.0, t_remote=500.0, t_block=100.0, fixed_overhead=1e5
+    )
+    with pytest.raises(ValueError, match="t_remote > t_local"):
+        _ = flat.density_coefficient
+    with pytest.raises(ValueError, match="t_remote > t_local"):
+        _ = flat.numerator_coefficient
+    inverted = MigrationCostModel(
+        t_local=900.0, t_remote=500.0, t_block=100.0, fixed_overhead=1e5
+    )
+    with pytest.raises(ValueError):
+        inverted.s_min(1.0, 1.0)
+
+
+def test_s_min_rejects_nonpositive_args():
+    model = MigrationCostModel.paper_constants()
+    for rho, g in ((0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -2.0)):
+        with pytest.raises(ValueError, match="positive"):
+            model.s_min(rho, g)
+
+
+def test_s_min_never_region_is_none():
+    model = MigrationCostModel.paper_constants()
+    # below g * density_coefficient no page size can pay
+    assert model.s_min(model.min_density(1.0) * 0.99, 1.0) is None
+    assert model.s_min(model.min_density(1.0) * 1.5, 1.0) is not None
+
+
+def test_migration_pays_agrees_with_s_min():
+    model = MigrationCostModel.paper_constants()
+    s = model.s_min(1.0, 1.0)
+    assert not model.migration_pays(s * 0.9, 1.0, 1.0)
+    assert model.migration_pays(s * 1.1, 1.0, 1.0)
+
+
+# -- counter vocabulary -------------------------------------------------------
+
+
+class _Row:
+    def __init__(self, **kw):
+        self.faults = 0
+        self.read_faults = 0
+        self.write_faults = 0
+        self.replications = 0
+        self.migrations = 0
+        self.invalidations = 0
+        self.remote_mappings = 0
+        self.was_frozen = False
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+class _Report:
+    def __init__(self, rows=(), local_words=0, remote_words=0):
+        self.rows = list(rows)
+        self.local_words = local_words
+        self.remote_words = remote_words
+        self.queue_delay_ms = 0.0
+        self.transfers = 0
+        self.shootdowns = 0
+        self.ipis = 0
+
+
+class _Result:
+    def __init__(self, report, sim_time_ns=0):
+        self.report = report
+        self.sim_time_ns = sim_time_ns
+
+
+def test_run_counters_on_empty_report_has_no_division_by_zero():
+    counters = run_counters(_Result(_Report()))
+    assert counters["faults"] == 0
+    assert counters["remote_fraction"] == 0.0
+    for field in COUNTER_FIELDS:
+        assert counters[field] == 0
+
+
+def test_run_counters_sums_rows():
+    report = _Report(
+        rows=[
+            _Row(faults=3, read_faults=2, write_faults=1, was_frozen=True),
+            _Row(faults=1, read_faults=1, migrations=2),
+        ],
+        local_words=30,
+        remote_words=10,
+    )
+    counters = run_counters(_Result(report, sim_time_ns=500))
+    assert counters["faults"] == 4
+    assert counters["read_faults"] == 3
+    assert counters["migrations"] == 2
+    assert counters["freezes"] == 1
+    assert counters["remote_fraction"] == pytest.approx(0.25)
+    assert counters["sim_time_ns"] == 500
+
+
+def test_aggregate_counters_empty_sweep():
+    total = aggregate_counters([])
+    assert total["points"] == 0
+    assert total["remote_fraction"] == 0.0
+    assert total["faults"] == 0
+
+
+def test_aggregate_counters_skips_failed_points_and_sums():
+    a = {"faults": 2, "local_words": 10, "remote_words": 10,
+         "sim_time_ns": 100}
+    b = {"faults": 5, "local_words": 20, "remote_words": 0,
+         "sim_time_ns": 50}
+    total = aggregate_counters([a, None, b])
+    assert total["points"] == 2
+    assert total["faults"] == 7
+    assert total["sim_time_ns"] == 150
+    # recomputed from summed words, not averaged
+    assert total["remote_fraction"] == pytest.approx(10 / 40)

@@ -1,0 +1,166 @@
+"""Smoke tests for the bench orchestration (repro.bench.runner).
+
+One serial smoke sweep and one ``--jobs 2`` smoke sweep run every
+registered target end-to-end; every emitted document is validated
+against the ``repro-bench/1`` schema, and the two sweeps must agree on
+everything except wall-clock fields.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    TARGETS,
+    load_bench,
+    run_bench,
+    select_targets,
+    strip_wall_clock,
+    summarize,
+    validate_bench,
+    write_results,
+)
+from repro.bench.runner import render_text
+from repro.bench.schema import SCALES
+
+
+@pytest.fixture(scope="module")
+def smoke_docs():
+    docs, runner = run_bench(scale="smoke", jobs=1)
+    return docs
+
+
+@pytest.fixture(scope="module")
+def smoke_docs_parallel():
+    docs, runner = run_bench(scale="smoke", jobs=2)
+    return docs
+
+
+def test_every_target_is_swept(smoke_docs):
+    assert set(smoke_docs) == set(TARGETS)
+    assert len(TARGETS) >= 11
+
+
+@pytest.mark.parametrize("target", list(TARGETS))
+def test_target_smoke_doc_is_valid(smoke_docs, target):
+    doc = smoke_docs[target]
+    assert validate_bench(doc) == [], validate_bench(doc)
+    assert doc["target"] == target
+    assert doc["scale"] == "smoke"
+    assert doc["points"], f"{target} swept no points"
+    for point in doc["points"]:
+        assert point["ok"], (
+            f"{target}::{point['name']} failed:\n{point['error']}"
+        )
+
+
+@pytest.mark.parametrize("target", list(TARGETS))
+def test_target_expands_at_every_scale(target):
+    # point lists must build (without running) at every scale
+    for scale in SCALES:
+        config, points = TARGETS[target].points(scale)
+        assert isinstance(config, dict)
+        assert points, (target, scale)
+        names = [name for name, _spec in points]
+        assert len(names) == len(set(names)), f"duplicate point names "\
+            f"in {target}@{scale}"
+        for _name, spec in points:
+            assert "kind" in spec
+            json.dumps(spec)  # specs must be JSON-able (and picklable)
+
+
+def test_parallel_smoke_matches_serial(smoke_docs, smoke_docs_parallel):
+    for target in TARGETS:
+        serial = strip_wall_clock(smoke_docs[target])
+        parallel = strip_wall_clock(smoke_docs_parallel[target])
+        assert serial == parallel, (
+            f"{target}: serial and jobs=2 sweeps disagree beyond "
+            "wall-clock fields"
+        )
+
+
+def test_counters_aggregate_over_points(smoke_docs):
+    doc = smoke_docs["fig1_gauss"]
+    total_faults = sum(
+        p["metrics"]["faults"] for p in doc["points"]
+    )
+    assert doc["counters"]["faults"] == total_faults
+    assert doc["counters"]["points"] == len(doc["points"])
+
+
+def test_derived_speedup_curve_shape(smoke_docs):
+    curve = smoke_docs["fig1_gauss"]["derived"]["curve"]
+    assert [pt["processors"] for pt in curve["points"]] == \
+        smoke_docs["fig1_gauss"]["config"]["counts"]
+    # normalization: speedup at the baseline equals the baseline count
+    base = curve["points"][0]
+    assert base["speedup"] == pytest.approx(base["processors"])
+
+
+def test_write_results_and_load_roundtrip(smoke_docs, tmp_path):
+    written = write_results(
+        {"fig1_gauss": smoke_docs["fig1_gauss"]}, tmp_path
+    )
+    json_paths = [p for p in written if p.suffix == ".json"]
+    assert json_paths == [tmp_path / "BENCH_fig1_gauss.json"]
+    doc = load_bench(json_paths[0])
+    assert strip_wall_clock(doc) == strip_wall_clock(
+        smoke_docs["fig1_gauss"]
+    )
+    text = (tmp_path / "fig1_gauss.txt").read_text()
+    assert "fig1_gauss" in text
+
+
+def test_render_text_mentions_failures():
+    doc = {
+        "target": "t", "title": "T", "scale": "smoke",
+        "wall_clock_s": 0.0, "jobs": 1, "derived": {},
+        "points": [{
+            "name": "p", "ok": False, "error": "RuntimeError: nope",
+            "wall_s": 0.0, "config": {}, "metrics": None, "seed": 0,
+        }],
+    }
+    assert "FAILED" in render_text(doc)
+
+
+def test_summarize_counts_failures(smoke_docs):
+    total, failed, problems = summarize(smoke_docs)
+    assert failed == 0
+    assert problems == []
+    assert total == sum(len(d["points"]) for d in smoke_docs.values())
+
+
+def test_select_targets_filtering():
+    assert select_targets(None) == list(TARGETS)
+    assert select_targets("fig1") == ["fig1_gauss"]
+    assert select_targets("fig*") == [
+        "fig1_gauss", "fig4_transitions", "fig5_mergesort", "fig6_neural"
+    ]
+    assert select_targets("no-such-target") == []
+
+
+def test_run_bench_rejects_unmatched_filter():
+    with pytest.raises(ValueError, match="matches no target"):
+        run_bench(scale="smoke", filter_pattern="no-such-target")
+
+
+def test_cli_bench_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main([
+        "bench", "--smoke", "--filter", "tab1_costmodel",
+        "--out", str(tmp_path), "-q",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 target(s)" in out
+    doc = load_bench(tmp_path / "BENCH_tab1_costmodel.json")
+    assert doc["derived"]["matches_published"] is True
+
+
+def test_cli_bench_bad_filter(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["bench", "--smoke", "--filter", "zzz",
+               "--out", str(tmp_path)])
+    assert rc == 2

@@ -1,0 +1,190 @@
+"""Unit tests for the parallel sweep runner (repro.bench.sweep).
+
+The self-test point kinds (``echo``, ``sleep``, ``fail``) exercise the
+runner's machinery -- ordering, seeding, failure capture, timeouts,
+parallelism and serial degradation -- without paying for simulations.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.sweep import (
+    SweepRunner,
+    Task,
+    make_tasks,
+    run_sweep,
+    task_seed,
+)
+
+
+def _echo_tasks(n, timeout_s=None):
+    return make_tasks(
+        [(f"point-{i}", {"kind": "echo", "value": i}) for i in range(n)],
+        timeout_s=timeout_s,
+    )
+
+
+# -- seeding ------------------------------------------------------------------
+
+
+def test_task_seed_is_deterministic():
+    assert task_seed(0, "a") == task_seed(0, "a")
+    assert task_seed(0, "a") != task_seed(0, "b")
+    assert task_seed(0, "a") != task_seed(1, "a")
+    assert 0 <= task_seed(123456, "anything") < 2**31
+
+
+def test_make_tasks_seeds_by_name():
+    tasks = _echo_tasks(3)
+    assert [t.name for t in tasks] == ["point-0", "point-1", "point-2"]
+    assert len({t.seed for t in tasks}) == 3
+    assert tasks[0].seed == task_seed(0, "point-0")
+
+
+# -- serial execution ---------------------------------------------------------
+
+
+def test_serial_run_returns_results_in_task_order():
+    results = run_sweep(_echo_tasks(5), jobs=1)
+    assert [r.name for r in results] == [f"point-{i}" for i in range(5)]
+    assert all(r.ok for r in results)
+    assert [r.value["value"] for r in results] == list(range(5))
+    # the executor received each task's own seed
+    assert [r.value["seed"] for r in results] == [r.seed for r in results]
+
+
+def test_serial_failure_is_captured_not_raised():
+    tasks = make_tasks([
+        ("good", {"kind": "echo", "value": 1}),
+        ("bad", {"kind": "fail", "message": "boom-xyz"}),
+        ("after", {"kind": "echo", "value": 2}),
+    ])
+    results = run_sweep(tasks, jobs=1)
+    assert [r.ok for r in results] == [True, False, True]
+    assert "boom-xyz" in results[1].error
+    assert results[1].value is None
+
+
+def test_unknown_kind_is_a_task_error():
+    results = run_sweep(make_tasks([("x", {"kind": "nope"})]), jobs=1)
+    assert not results[0].ok
+    assert "unknown point kind" in results[0].error
+
+
+def test_progress_callback_sees_every_result():
+    seen = []
+    run_sweep(_echo_tasks(4), jobs=1, progress=lambda r: seen.append(r.name))
+    assert sorted(seen) == [f"point-{i}" for i in range(4)]
+
+
+# -- parallel execution -------------------------------------------------------
+
+
+def test_parallel_results_match_serial():
+    tasks = _echo_tasks(8)
+    serial = run_sweep(tasks, jobs=1)
+    parallel = run_sweep(tasks, jobs=3)
+    assert [r.name for r in parallel] == [r.name for r in serial]
+    assert [r.value for r in parallel] == [r.value for r in serial]
+
+
+def test_parallel_failure_is_captured():
+    tasks = make_tasks([
+        ("good", {"kind": "echo", "value": 1}),
+        ("bad", {"kind": "fail", "message": "boom-par"}),
+        ("after", {"kind": "echo", "value": 2}),
+    ])
+    results = run_sweep(tasks, jobs=2)
+    assert [r.ok for r in results] == [True, False, True]
+    assert "boom-par" in results[1].error
+
+
+def test_parallel_sleeps_overlap():
+    # four half-second sleeps: the pool must overlap them even on one
+    # CPU (the work is not CPU-bound), proving tasks really run
+    # concurrently; allow generous margin for worker start-up
+    tasks = make_tasks(
+        [(f"s{i}", {"kind": "sleep", "seconds": 0.5}) for i in range(4)]
+    )
+    t0 = time.perf_counter()
+    results = run_sweep(tasks, jobs=4)
+    elapsed = time.perf_counter() - t0
+    assert all(r.ok for r in results)
+    assert elapsed < 1.8, f"4x0.5s sleeps took {elapsed:.2f}s at jobs=4"
+
+
+def test_timeout_kills_runaway_task_and_sweep_continues():
+    tasks = [
+        Task(name="fast", spec={"kind": "echo", "value": 1}, seed=1,
+             timeout_s=30.0),
+        Task(name="hang", spec={"kind": "sleep", "seconds": 60.0},
+             seed=2, timeout_s=0.5),
+        Task(name="also-fast", spec={"kind": "echo", "value": 2},
+             seed=3, timeout_s=30.0),
+    ]
+    t0 = time.perf_counter()
+    results = run_sweep(tasks, jobs=2)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 30.0
+    by_name = {r.name: r for r in results}
+    assert by_name["fast"].ok and by_name["also-fast"].ok
+    hang = by_name["hang"]
+    assert not hang.ok and hang.timed_out
+    assert "timed out" in hang.error
+
+
+def test_single_task_runs_serially():
+    runner = SweepRunner(jobs=4)
+    results = runner.run(_echo_tasks(1))
+    assert results[0].ok and not runner.degraded
+
+
+# -- degradation --------------------------------------------------------------
+
+
+def test_degrades_to_serial_when_workers_cannot_spawn(monkeypatch):
+    import multiprocessing as mp
+
+    real_context = mp.get_context()
+
+    class NoSpawnContext:
+        def Queue(self, *a, **k):
+            return real_context.Queue(*a, **k)
+
+        def Process(self, *a, **k):
+            raise OSError("no processes in this sandbox")
+
+    monkeypatch.setattr(
+        "repro.bench.sweep.mp.get_context",
+        lambda *a, **k: NoSpawnContext(),
+    )
+    runner = SweepRunner(jobs=4)
+    results = runner.run(_echo_tasks(4))
+    assert runner.degraded
+    assert [r.value["value"] for r in results] == [0, 1, 2, 3]
+
+
+def test_to_point_shapes_for_schema():
+    from repro.bench.schema import validate_bench, make_doc
+
+    results = run_sweep(make_tasks([
+        ("ok-point", {"kind": "echo", "value": 9}),
+        ("bad-point", {"kind": "fail"}),
+    ]), jobs=1)
+    doc = make_doc(
+        target="selftest", title="sweep self-test", scale="smoke",
+        config={}, points=[r.to_point() for r in results],
+        derived={}, counters={}, wall_clock_s=0.0, jobs=1,
+    )
+    assert validate_bench(doc) == []
+
+
+def test_runner_rejects_nonpositive_jobs():
+    assert SweepRunner(jobs=0).jobs == 1
+    assert SweepRunner(jobs=-3).jobs == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_empty_task_list(jobs):
+    assert run_sweep([], jobs=jobs) == []

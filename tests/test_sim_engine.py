@@ -160,3 +160,158 @@ def test_determinism_across_identical_runs():
         return order
 
     assert build() == build()
+
+
+# -- same-timestamp fast path -------------------------------------------------
+
+
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_zero_delay_events_run_fifo_within_an_event(fast_path):
+    engine = Engine(fast_path=fast_path)
+    seen = []
+
+    def first():
+        seen.append("first")
+        engine.schedule(0, lambda: seen.append("wake-a"))
+        engine.schedule(0, lambda: seen.append("wake-b"))
+
+    engine.schedule(5, first)
+    engine.schedule(5, lambda: seen.append("second"))
+    engine.run()
+    # zero-delay wakeups scheduled from within an event run after every
+    # already-queued event at the same timestamp, in insertion order
+    assert seen == ["first", "second", "wake-a", "wake-b"]
+
+
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_heap_and_ready_deque_interleave_correctly(fast_path):
+    # heap entries (scheduled before the timestamp arrived) must run
+    # before deque entries (scheduled at the timestamp), matching seq
+    # order; later timestamps run after both
+    engine = Engine(fast_path=fast_path)
+    seen = []
+
+    def at_ten():
+        seen.append("heap-1")
+        engine.schedule(0, lambda: seen.append("now-1"))
+        engine.schedule(1, lambda: seen.append("later"))
+        engine.schedule(0, lambda: seen.append("now-2"))
+
+    engine.schedule(10, at_ten)
+    engine.schedule(10, lambda: seen.append("heap-2"))
+    engine.run()
+    assert seen == ["heap-1", "heap-2", "now-1", "now-2", "later"]
+    assert engine.now == 11
+
+
+def test_fast_path_equivalence_on_random_schedule():
+    import random
+
+    def build(fast_path):
+        rng = random.Random(42)
+        engine = Engine(fast_path=fast_path)
+        order = []
+
+        def chain(i, depth):
+            order.append((i, depth, engine.now))
+            if depth:
+                engine.schedule(0, lambda: chain(i, depth - 1))
+
+        for i in range(100):
+            engine.schedule(rng.randrange(10), lambda i=i: chain(i, 3))
+        engine.run()
+        return order
+
+    assert build(True) == build(False)
+
+
+def test_pending_events_counts_ready_deque():
+    engine = Engine()
+    seen = []
+
+    def first():
+        engine.schedule(0, lambda: seen.append("x"))
+        engine.stop()
+
+    engine.schedule(1, first)
+    engine.run()
+    # the zero-delay wakeup is still pending (on the ready deque)
+    assert engine.pending_events == 1
+    assert engine.peek_time() == engine.now
+    engine.run()
+    assert seen == ["x"]
+
+
+def test_perturb_ties_is_reproducible_per_seed():
+    import random
+
+    def build(seed):
+        engine = Engine()
+        engine.perturb_ties(random.Random(seed))
+        order = []
+        for i in range(30):
+            engine.schedule(5, lambda i=i: order.append(i))
+        engine.run()
+        return order
+
+    assert build(7) == build(7)
+    assert build(7) != build(8)          # a different legal interleave
+    assert sorted(build(7)) == list(range(30))
+
+
+def test_perturb_ties_bypasses_fast_path():
+    import random
+
+    engine = Engine()
+    seen = []
+
+    def first():
+        engine.perturb_ties(random.Random(3))
+        # these same-time events must take the heap (random priorities),
+        # not the FIFO deque
+        for tag in "abcdef":
+            engine.schedule(0, lambda tag=tag: seen.append(tag))
+
+    engine.schedule(1, first)
+    engine.run()
+    assert sorted(seen) == list("abcdef")
+    assert seen != list("abcdef")  # Random(3) happens to reorder these
+
+
+def test_perturb_ties_migrates_pending_ready_events():
+    import random
+
+    engine = Engine()
+    seen = []
+
+    def first():
+        engine.schedule(0, lambda: seen.append("early-a"))
+        engine.schedule(0, lambda: seen.append("early-b"))
+        engine.perturb_ties(random.Random(0))
+        engine.schedule(0, lambda: seen.append("late"))
+
+    engine.schedule(1, first)
+    engine.run()
+    # events queued before the perturbation keep insertion order and run
+    # before randomly-prioritized newcomers at the same timestamp
+    assert seen[:2] == ["early-a", "early-b"]
+    assert seen[2] == "late"
+
+
+def test_clearing_perturb_ties_keeps_ordering_safe():
+    import random
+
+    engine = Engine()
+    seen = []
+
+    def first():
+        engine.perturb_ties(random.Random(1))
+        engine.schedule(0, lambda: seen.append("perturbed"))
+        engine.perturb_ties(None)
+        # with perturbed entries still queued at this timestamp, a new
+        # same-time event must not jump ahead of them via the fast path
+        engine.schedule(0, lambda: seen.append("after"))
+
+    engine.schedule(1, first)
+    engine.run()
+    assert seen == ["perturbed", "after"]
