@@ -18,6 +18,7 @@ from .visualize import (
     page_heat,
     processor_profile,
     run_dashboard,
+    sample_timeline,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "page_heat",
     "processor_profile",
     "run_dashboard",
+    "sample_timeline",
 ]

@@ -127,6 +127,46 @@ def event_rate(tracer: ProtocolTracer, bins: int = 60) -> str:
     return "\n".join(lines)
 
 
+def sample_timeline(sampler, width: int = 60) -> str:
+    """Heat strips over a :class:`~repro.telemetry.SimTimeSampler`'s
+    sampled series: frozen pages, fault rate, queue depth, remote
+    mappings -- the system state over simulated time."""
+    if not sampler.samples:
+        return "(no samples; did the run outlast one sampling period?)"
+    n = len(sampler.samples)
+    t0 = sampler.samples[0]["time_ms"]
+    t1 = sampler.samples[-1]["time_ms"]
+    lines = [
+        f"sampled system state ({n} samples, "
+        f"{sampler.period_ms:g} ms period, "
+        f"{t0:.1f}..{t1:.1f} ms)"
+    ]
+    for key, label in (
+        ("frozen_pages", "frozen pages"),
+        ("fault_rate_per_ms", "faults/ms"),
+        ("queue_depth", "queue depth"),
+        ("remote_mappings", "remote maps"),
+    ):
+        series = [float(v) for v in sampler.series(key)]
+        if len(series) > width:
+            # downsample by taking the max of each chunk so spikes survive
+            chunk = len(series) / width
+            series = [
+                max(series[int(i * chunk):
+                           max(int(i * chunk) + 1, int((i + 1) * chunk))])
+                for i in range(width)
+            ]
+        peak = max(series) if series else 0.0
+        lines.append(
+            f"  {label:<12} |{_strip(series, width)}| peak {peak:g}"
+        )
+    if sampler.dropped:
+        lines.append(
+            f"  ... {sampler.dropped} samples dropped at the cap"
+        )
+    return "\n".join(lines)
+
+
 def run_dashboard(kernel: Kernel) -> str:
     """Everything at once: profile, heat, rates, and the post-mortem."""
     sections = [
@@ -138,4 +178,15 @@ def run_dashboard(kernel: Kernel) -> str:
         "",
         kernel.report().format(max_rows=10),
     ]
+    tracer = kernel.tracer
+    if tracer.dropped:
+        sections.extend([
+            "",
+            (f"warning: {tracer.dropped} oldest events evicted "
+             "(ring retention) -- early-run panels are partial"
+             if tracer.ring else
+             f"warning: {tracer.dropped} events dropped at the "
+             "keep-first cap -- late-run panels are partial; "
+             "use tracer.use_ring() or a streaming sink"),
+        ])
     return "\n".join(sections)

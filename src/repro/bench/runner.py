@@ -77,6 +77,33 @@ def _build_tasks(
     return tasks, configs, specs
 
 
+def _aggregate_telemetry(ok_metrics: dict[str, dict]) -> Optional[dict]:
+    """Sum the per-point ``telemetry`` summaries (see
+    ``MetricsRegistry.summary``) into one doc-level block, or ``None``
+    when no point carried one."""
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    n = 0
+    for metrics in ok_metrics.values():
+        summary = metrics.get("telemetry")
+        if not isinstance(summary, dict):
+            continue
+        n += 1
+        for key, value in summary.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, h in summary.get("histograms", {}).items():
+            agg = histograms.setdefault(key, {"count": 0, "sum": 0.0})
+            agg["count"] += h.get("count", 0)
+            agg["sum"] += h.get("sum", 0.0)
+    if not n:
+        return None
+    return {
+        "points_with_telemetry": n,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
 def _group_results(
     names: list[str],
     results: list[TaskResult],
@@ -103,6 +130,7 @@ def _group_results(
             points.append(point)
             if result.ok:
                 ok_metrics[point_name] = result.value
+        telemetry = _aggregate_telemetry(ok_metrics)
         docs[name] = make_doc(
             target=name,
             title=target.title,
@@ -115,6 +143,7 @@ def _group_results(
                 sum(r.wall_s for r in target_results), 4
             ),
             jobs=jobs,
+            extra={"telemetry": telemetry} if telemetry else None,
         )
     return docs
 

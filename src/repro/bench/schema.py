@@ -20,7 +20,10 @@ trajectory) and so CI can fail on malformed output:
       "derived": {...},                  # curves/tables computed from points
       "counters": {...},                 # aggregate_counters over all points
       "wall_clock_s": 1.9,               # total wall clock for the target
-      "jobs": 4                          # sweep parallelism used
+      "jobs": 4,                         # sweep parallelism used
+      "telemetry": {...}                 # optional: summed metrics
+                                         # registry summaries (additive
+                                         # repro-bench/1 extension)
     }
 
 ``wall_clock_s``, ``jobs`` and each point's ``wall_s`` are the only
@@ -86,6 +89,19 @@ def validate_bench(doc: Any) -> list[str]:
     need(doc, "counters", dict, "doc")
     need(doc, "wall_clock_s", (int, float), "doc")
     need(doc, "jobs", int, "doc")
+    if "telemetry" in doc:
+        # optional, additive: a doc-level metrics summary block
+        if not isinstance(doc["telemetry"], dict):
+            problems.append(
+                "doc.telemetry: expected object, got "
+                f"{type(doc['telemetry']).__name__}"
+            )
+        else:
+            for key in ("points_with_telemetry", "counters"):
+                if key not in doc["telemetry"]:
+                    problems.append(
+                        f"doc.telemetry: missing required field {key!r}"
+                    )
     if need(doc, "points", list, "doc"):
         for i, point in enumerate(doc["points"]):
             where = f"doc.points[{i}]"

@@ -82,6 +82,9 @@ def _exec_run(spec: dict, seed: int) -> dict:
     machine = spec.get("machine", 16)
     params = dict(spec.get("params", {}))
     system = spec.get("system", "platinum")
+    # telemetry only reads protocol state, so its summary is as
+    # deterministic as the counters; spec {"telemetry": False} opts out
+    telemetry = spec.get("telemetry", True) and system == "platinum"
     if system == "uniform":
         kernel = uniform_system_kernel(machine, **params)
         program = UniformSystemGauss(**args)
@@ -95,6 +98,8 @@ def _exec_run(spec: dict, seed: int) -> dict:
                 period=spec.get("competitive_period", 100e6),
                 **params,
             )
+            if telemetry:
+                kernel.coherent.metrics.enabled = True
         else:
             policy = None
             if spec.get("policy"):
@@ -106,12 +111,15 @@ def _exec_run(spec: dict, seed: int) -> dict:
                 policy=policy,
                 defrost_enabled=spec.get("defrost", True),
                 defrost_period=spec.get("defrost_period"),
+                metrics=telemetry,
                 **params,
             )
         program = _WORKLOADS[spec["workload"]](**args)
     result = run_program(kernel, program)
     metrics = run_counters(result)
     metrics["sim_time_ms"] = result.sim_time_ms
+    if telemetry:
+        metrics["telemetry"] = kernel.metrics.summary()
     for prefix in spec.get("page_detail", ()):
         rows = [
             r for r in result.report.rows if r.label.startswith(prefix)

@@ -114,10 +114,59 @@ def _make_program(name: str, args: argparse.Namespace, p: int):
     raise ValueError(f"unknown workload {name!r}")
 
 
+def _attach_trace_sink(kernel, destination: str):
+    """Stream trace events to ``destination`` (extension picks the
+    format: ``.jsonl`` -> JSON Lines, anything else -> Chrome
+    trace-event JSON for Perfetto/chrome://tracing)."""
+    from .telemetry import ChromeTraceSink, JsonlTraceSink
+
+    if destination.endswith(".jsonl"):
+        sink = JsonlTraceSink(destination)
+    else:
+        sink = ChromeTraceSink(
+            destination, n_processors=kernel.params.n_processors
+        )
+    kernel.tracer.add_sink(sink)
+    return sink
+
+
+def _start_sampler(kernel, sample_ms: float):
+    from .telemetry import SimTimeSampler
+
+    sampler = SimTimeSampler(
+        kernel, period_ms=sample_ms, registry=kernel.metrics
+    )
+    sampler.start()
+    return sampler
+
+
+def _write_metrics_jsonl(kernel, sampler, destination: str) -> int:
+    """Write metric records then sampler records as one JSONL file;
+    returns how many lines were written."""
+    from pathlib import Path
+
+    path = Path(destination)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    text = kernel.metrics.to_jsonl() + sampler.to_jsonl()
+    path.write_text(text)
+    return text.count("\n")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    kernel = make_kernel(n_processors=args.machine, trace=args.trace)
+    want_metrics = args.metrics_out is not None
+    kernel = make_kernel(
+        n_processors=args.machine, trace=args.trace, metrics=want_metrics
+    )
+    if args.trace_out:
+        _attach_trace_sink(kernel, args.trace_out)
+        # without --trace the history lives only on disk: constant memory
+        kernel.tracer.retain = args.trace
+    sampler = _start_sampler(kernel, args.sample_ms) if want_metrics \
+        else None
     program = _make_program(args.workload, args, args.p)
     result = run_program(kernel, program)
+    kernel.tracer.close_sinks()
     print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
           f"on {args.p} of {args.machine} processors")
     print()
@@ -125,6 +174,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         print()
         print(kernel.tracer.timeline(limit=args.rows * 2))
+    if args.trace_out:
+        print(f"\nwrote trace to {args.trace_out}")
+    if sampler is not None:
+        lines = _write_metrics_jsonl(kernel, sampler, args.metrics_out)
+        print(f"wrote {lines} metric/sample records to "
+              f"{args.metrics_out}")
+        if sampler.dropped:
+            print(f"warning: sampler dropped {sampler.dropped} samples "
+                  "at the cap")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    kernel = make_kernel(n_processors=args.machine, metrics=True)
+    sampler = _start_sampler(kernel, args.sample_ms)
+    program = _make_program(args.workload, args, args.p)
+    result = run_program(kernel, program)
+    print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
+          f"on {args.p} of {args.machine} processors")
+    print()
+    print(kernel.metrics.format())
+    print()
+    from .analysis import sample_timeline
+
+    print(sample_timeline(sampler))
+    if args.out:
+        lines = _write_metrics_jsonl(kernel, sampler, args.out)
+        print(f"\nwrote {lines} metric/sample records to {args.out}")
     return 0
 
 
@@ -132,6 +209,10 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     from .analysis import run_dashboard
 
     kernel = make_kernel(n_processors=args.machine, trace=True)
+    # long runs: keep the newest events rather than silently truncating
+    # the interesting tail (keep-first mode drops everything after the
+    # cap, which starved the dashboard's late-run panels)
+    kernel.tracer.use_ring()
     program = _make_program(args.workload, args, args.p)
     run_program(kernel, program)
     print(run_dashboard(kernel))
@@ -393,17 +474,65 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false",
                        help="skip the end-to-end result check")
 
+    retention_epilog = (
+        "trace retention modes:\n"
+        "  --trace         keep the first 1,000,000 events in memory\n"
+        "                  (keep-first; later events are counted as\n"
+        "                  dropped) and print a timeline\n"
+        "  --trace-out     stream every event to PATH as it happens --\n"
+        "                  no in-memory cap; .jsonl writes JSON Lines,\n"
+        "                  any other extension writes Chrome trace-event\n"
+        "                  JSON loadable in Perfetto / chrome://tracing\n"
+        "  both            stream to PATH and keep events for the\n"
+        "                  printed timeline\n"
+        "ring mode (newest events win) is used by `repro dashboard`;\n"
+        "see docs/OBSERVABILITY.md for the full catalog."
+    )
+
     for name, default_n in (("gauss", 64), ("mergesort", 16384),
                             ("neural", 40), ("jacobi", 48),
                             ("matmul", 48)):
-        rp = sub.add_parser(name, help=f"run {name} and print the "
-                            "post-mortem report")
+        rp = sub.add_parser(
+            name,
+            help=f"run {name} and print the post-mortem report",
+            epilog=retention_epilog,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
         workload_args(rp, default_n)
         rp.add_argument("--trace", action="store_true",
                         help="record and print the protocol trace")
+        rp.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="stream the protocol trace to PATH "
+                        "(.jsonl -> JSON Lines, else Chrome "
+                        "trace-event JSON)")
+        rp.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable the metrics registry + sim-time "
+                        "sampler and write metric/sample records to "
+                        "PATH as JSON Lines")
+        rp.add_argument("--sample-ms", type=float, default=1.0,
+                        help="sim-time sampling period in simulated "
+                        "milliseconds (with --metrics-out)")
         rp.add_argument("--rows", type=int, default=15,
                         help="report rows to print")
         rp.set_defaults(fn=_cmd_run, workload=name)
+
+    me = sub.add_parser(
+        "metrics",
+        help="run a workload with the telemetry registry enabled and "
+        "print the metrics table + sampled timeline",
+    )
+    me.add_argument(
+        "workload",
+        choices=("gauss", "mergesort", "neural", "jacobi", "matmul"),
+    )
+    workload_args(me, 48)
+    me.add_argument("--sample-ms", type=float, default=1.0,
+                    help="sim-time sampling period in simulated "
+                    "milliseconds")
+    me.add_argument("--out", default=None, metavar="PATH",
+                    help="also write metric/sample records to PATH as "
+                    "JSON Lines")
+    me.set_defaults(fn=_cmd_metrics, verify=False)
 
     db = sub.add_parser(
         "dashboard",

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
+from ..telemetry.metrics import MetricsRegistry
 from .cmap import Cmap, CmapEntry
 from .cpage import Cpage, CpageTable
 from .defrost import DefrostDaemon
@@ -33,6 +34,7 @@ class CoherentMemorySystem:
         defrost_enabled: bool = True,
         defrost_period: Optional[float] = None,
         trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.machine = machine
         self.policy = (
@@ -41,15 +43,23 @@ class CoherentMemorySystem:
             else TimestampFreezePolicy(machine.params.t1_freeze_window)
         )
         self.tracer = ProtocolTracer(enabled=trace)
+        #: the telemetry metrics registry shared by every protocol
+        #: component (disabled unless one was passed in enabled)
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
         self.cpages = CpageTable(machine.params.n_modules)
         self.cmaps: dict[int, Cmap] = {}
-        self.shootdown = ShootdownMechanism(machine, tracer=self.tracer)
+        self.shootdown = ShootdownMechanism(
+            machine, tracer=self.tracer, metrics=self.metrics
+        )
         self.fault_handler = CoherentFaultHandler(
-            machine, self.shootdown, self.policy, tracer=self.tracer
+            machine, self.shootdown, self.policy, tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.defrost = DefrostDaemon(
             machine, self.shootdown, self.policy, period=defrost_period,
-            tracer=self.tracer,
+            tracer=self.tracer, metrics=self.metrics,
         )
         if defrost_enabled:
             self.defrost.start()

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
+from ..telemetry.metrics import MetricsRegistry
 from .cmap import Directive
 from .cpage import Cpage
 from .policy import ReplicationPolicy
@@ -36,11 +37,18 @@ class DefrostDaemon:
         policy: ReplicationPolicy,
         period: Optional[float] = None,
         tracer: ProtocolTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.machine = machine
         self.shootdown = shootdown
         self.policy = policy
         self.tracer = tracer if tracer is not None else ProtocolTracer()
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = m
+        self._m_runs = m.counter(
+            "defrost_runs_total", "defrost daemon activations")
+        self._m_thaws = m.counter(
+            "thaws_total", "cpages thawed", labels=("via",))
         self.period = (
             period if period is not None
             else machine.params.t2_defrost_period
@@ -76,6 +84,8 @@ class DefrostDaemon:
             self.thaw_page(cpage, now)
             thawed += 1
         self.pages_thawed += thawed
+        if self.metrics.enabled:
+            self._m_runs.inc()
         self.tracer.record(
             now, EventKind.DEFROST_RUN, None, None, thawed=thawed
         )
@@ -105,6 +115,8 @@ class DefrostDaemon:
         cpage.has_write_mapping = False
         cpage.recompute_state()
         self.policy.thaw(cpage, now)
+        if self.metrics.enabled:
+            self._m_thaws.labels("defrost").inc()
         self.tracer.record(
             now, EventKind.THAW, cpage.index, initiator, via="defrost"
         )

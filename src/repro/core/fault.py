@@ -26,6 +26,7 @@ from typing import Callable
 from ..machine.machine import Machine
 from ..machine.memory import Frame, OutOfFramesError
 from ..machine.pmap import Rights
+from ..telemetry.metrics import MetricsRegistry
 from .cmap import Cmap, CmapEntry, Directive
 from .cpage import CoherencyError, Cpage, CpageState
 from .policy import Action, FaultContext, ReplicationPolicy
@@ -59,6 +60,7 @@ class CoherentFaultHandler:
         shootdown: ShootdownMechanism,
         policy: ReplicationPolicy,
         tracer: ProtocolTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.machine = machine
         self.shootdown = shootdown
@@ -68,6 +70,28 @@ class CoherentFaultHandler:
         #: called after every completed fault, with the directory in a
         #: consistent state (the repro.check invariant checker hooks here)
         self.post_action_hooks: list[Callable[[], None]] = []
+        # instruments are pre-bound so the disabled path costs one branch
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = m
+        self._m_faults = m.counter(
+            "faults_total", "coherent memory faults taken",
+            labels=("processor", "kind"))
+        self._m_actions = m.counter(
+            "fault_actions_total", "completed fault-handler actions",
+            labels=("action",))
+        self._m_handler_ns = m.histogram(
+            "fault_handler_ns",
+            "fault-handler latency including lock wait", unit="ns")
+        self._m_wait_ns = m.histogram(
+            "fault_wait_ns", "per-cpage handler-lock wait", unit="ns")
+        self._m_freezes = m.counter(
+            "freezes_total", "cpages frozen by the replication policy",
+            labels=("cpage",))
+        self._m_thaws = m.counter(
+            "thaws_total", "cpages thawed", labels=("via",))
+        self._m_transfers = m.counter(
+            "transfers_total", "whole-page block transfers",
+            labels=("src", "dst"))
 
     # -- entry point -----------------------------------------------------------
 
@@ -93,6 +117,10 @@ class CoherentFaultHandler:
             cpage.stats.write_faults += 1
         else:
             cpage.stats.read_faults += 1
+        if self.metrics.enabled:
+            self._m_faults.labels(
+                proc, "write" if write else "read"
+            ).inc()
 
         # serialize the directory critical section for this Cpage.  The
         # lock scope is small (section 2.2): frame allocation and mapping
@@ -127,6 +155,14 @@ class CoherentFaultHandler:
 
         t = int(round(t))
         cpage.stats.handler_busy_ns += t - start
+        if self.metrics.enabled:
+            self._m_actions.labels(action).inc()
+            self._m_handler_ns.observe(t - now)
+            self._m_wait_ns.observe(wait)
+            if cpage.frozen and not frozen_before:
+                self._m_freezes.labels(cpage.index).inc()
+            elif frozen_before and not cpage.frozen:
+                self._m_thaws.labels("fault").inc()
         if self.tracer.enabled:
             self.tracer.record(
                 now, EventKind.FAULT, cpage.index, proc,
@@ -318,6 +354,10 @@ class CoherentFaultHandler:
         expected = t + p.page_copy_time
         end = self.machine.xfer.transfer_page(src, dst, int(t))
         cpage.stats.handler_wait_ns += int(max(0, end - expected))
+        if self.metrics.enabled:
+            self._m_transfers.labels(
+                src.module_index, dst.module_index
+            ).inc()
         self.tracer.record(
             int(t), EventKind.TRANSFER, cpage.index, None,
             src=src.module_index, dst=dst.module_index,

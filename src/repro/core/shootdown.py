@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Optional
 
 from ..machine.machine import Machine
 from ..machine.pmap import Rights
+from ..telemetry.metrics import MetricsRegistry
 from .cmap import Cmap, CmapMessage, Directive
 from .cpage import Cpage
 from .trace import EventKind, ProtocolTracer
@@ -49,7 +50,10 @@ class ShootdownMechanism:
     """Restricts or invalidates mappings across processors."""
 
     def __init__(
-        self, machine: Machine, tracer: ProtocolTracer | None = None
+        self,
+        machine: Machine,
+        tracer: ProtocolTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.machine = machine
         self.tracer = tracer if tracer is not None else ProtocolTracer()
@@ -59,6 +63,18 @@ class ShootdownMechanism:
         #: called after every completed shootdown / queue application
         #: (the repro.check invariant checker hooks here)
         self.post_action_hooks: list[Callable[[], None]] = []
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = m
+        self._m_shootdowns = m.counter(
+            "shootdowns_total", "mapping shootdown operations",
+            labels=("directive",))
+        self._m_ipis = m.counter(
+            "shootdown_ipis_total",
+            "IPIs sent to targets with the address space active",
+            labels=("target",))
+        self._m_deferred = m.counter(
+            "shootdown_deferred_total",
+            "shootdown updates deferred to address-space activation")
 
     # -- protocol-driven shootdowns (by Cpage) --------------------------------
 
@@ -103,6 +119,9 @@ class ShootdownMechanism:
         self.shootdowns += 1
         self.total_interrupted += len(interrupted)
         self.total_deferred += len(deferred)
+        if self.metrics.enabled:
+            self._m_shootdowns.labels(directive.value).inc()
+            self._m_deferred.inc(len(deferred))
         if directive is Directive.INVALIDATE:
             cpage.stats.invalidations += 1
         else:
@@ -172,6 +191,8 @@ class ShootdownMechanism:
                 self.machine.interrupts.send_ipi(
                     initiator, proc, self.machine.params.ipi_target_cost
                 )
+                if self.metrics.enabled:
+                    self._m_ipis.labels(proc).inc()
                 self._apply(cmap, vpage, directive, rights, proc)
                 cmap.acknowledge(message, proc)
                 interrupted.add(proc)
@@ -257,6 +278,9 @@ class ShootdownMechanism:
         self.shootdowns += 1
         self.total_interrupted += len(interrupted)
         self.total_deferred += len(deferred)
+        if self.metrics.enabled:
+            self._m_shootdowns.labels(directive.value).inc()
+            self._m_deferred.inc(len(deferred))
         for hook in self.post_action_hooks:
             hook()
         return result

@@ -19,6 +19,12 @@ short runs where the interesting activity is at the start.  Ring mode
 (``ProtocolTracer(ring=True)`` or :meth:`ProtocolTracer.use_ring`) keeps
 the *last* ``max_events``, evicting the oldest -- right for long fuzz or
 soak runs where only the window leading up to a failure matters.
+
+For runs too long for either mode, attach a streaming *sink*
+(:meth:`ProtocolTracer.add_sink`, see ``repro.telemetry.export``): every
+accepted event is forwarded to each sink the moment it is recorded,
+independently of in-memory retention, and ``tracer.retain = False``
+turns retention off entirely so the full history lives only on disk.
 """
 
 from __future__ import annotations
@@ -77,6 +83,11 @@ class ProtocolTracer:
             deque(maxlen=max_events) if ring else []
         )
         self.dropped = 0
+        #: streaming sinks (repro.telemetry.export); every accepted
+        #: event is forwarded to each, regardless of retention
+        self.sinks: list = []
+        #: when False, events go to sinks only -- nothing is retained
+        self.retain = True
 
     def enable(self) -> None:
         self.enabled = True
@@ -101,6 +112,28 @@ class ProtocolTracer:
         self.events.clear()
         self.dropped = 0
 
+    # -- sinks ------------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Stream every subsequently recorded event to ``sink``.
+
+        Also enables the tracer: a sink without events would silently
+        record nothing.
+        """
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def remove_sink(self, sink) -> None:
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def close_sinks(self) -> None:
+        """Finalize every attached sink (flush files, close spans)."""
+        for sink in self.sinks:
+            sink.close()
+
     def record(
         self,
         time: int,
@@ -111,13 +144,16 @@ class ProtocolTracer:
     ) -> None:
         if not self.enabled:
             return
+        event = TraceEvent(time, kind, cpage_index, processor, detail)
+        for sink in self.sinks:
+            sink.emit(event)
+        if not self.retain:
+            return
         if len(self.events) >= self.max_events:
             self.dropped += 1
             if not self.ring:
                 return
-        self.events.append(
-            TraceEvent(time, kind, cpage_index, processor, detail)
-        )
+        self.events.append(event)
 
     # -- queries ----------------------------------------------------------------
 

@@ -31,6 +31,7 @@ class Kernel:
         defrost_enabled: bool = True,
         defrost_period: Optional[float] = None,
         trace: bool = False,
+        metrics=None,
     ) -> None:
         if machine is None:
             machine = Machine(params if params is not None else
@@ -44,6 +45,7 @@ class Kernel:
             defrost_enabled=defrost_enabled,
             defrost_period=defrost_period,
             trace=trace,
+            metrics=metrics,
         )
         self.vm = VirtualMemorySystem(self.coherent)
         self.threads = ThreadManager(machine, self.coherent)
@@ -71,6 +73,13 @@ class Kernel:
     def tracer(self):
         """The protocol tracer (enable with Kernel(..., trace=True))."""
         return self.coherent.tracer
+
+    @property
+    def metrics(self):
+        """The telemetry metrics registry (enable with
+        Kernel(..., metrics=MetricsRegistry(enabled=True)) or
+        make_kernel(metrics=True))."""
+        return self.coherent.metrics
 
     # -- the fault path ---------------------------------------------------------
 

@@ -139,19 +139,34 @@ def make_kernel(
     defrost_enabled: bool = True,
     defrost_period: Optional[float] = None,
     trace: bool = False,
+    metrics=False,
     **param_overrides,
 ) -> Kernel:
-    """Convenience: a fresh kernel on a fresh Butterfly Plus-like machine."""
+    """Convenience: a fresh kernel on a fresh Butterfly Plus-like machine.
+
+    ``metrics`` enables the telemetry metrics registry: ``True`` creates
+    an enabled :class:`~repro.telemetry.MetricsRegistry`; an existing
+    registry instance is used as-is (share one across kernels to
+    aggregate); ``False`` (the default) wires a disabled registry whose
+    instrument writes cost one branch.
+    """
+    from ..telemetry.metrics import MetricsRegistry
+
     if params is None:
         params = MachineParams(n_processors=n_processors).scaled(
             **param_overrides
         )
     elif param_overrides:
         params = params.scaled(**param_overrides)
+    if metrics is True:
+        metrics = MetricsRegistry(enabled=True)
+    elif metrics is False:
+        metrics = None
     return Kernel(
         params=params,
         policy=policy,
         defrost_enabled=defrost_enabled,
         defrost_period=defrost_period,
         trace=trace,
+        metrics=metrics,
     )

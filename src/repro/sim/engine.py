@@ -151,6 +151,17 @@ class Engine:
     def pending_events(self) -> int:
         return len(self._queue) + len(self._ready)
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the telemetry sampler reads this;
+        it is the existing seq counter, so tracking costs nothing)."""
+        return self._seq
+
+    @property
+    def events_executed(self) -> int:
+        """Events executed so far: scheduled minus still pending."""
+        return self._seq - len(self._queue) - len(self._ready)
+
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None if the queue is empty."""
         if self._ready:

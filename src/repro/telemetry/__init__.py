@@ -1,0 +1,32 @@
+"""Unified telemetry: metrics registry, streaming trace export, and
+sim-time sampling (the paper's section 9 instrumentation, made
+continuous).  See docs/OBSERVABILITY.md for the metrics catalog and the
+export formats."""
+
+from .export import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    TraceSink,
+    export_chrome_trace,
+    export_jsonl_trace,
+)
+from .metrics import (
+    DEFAULT_NS_BUCKETS,
+    Metric,
+    MetricError,
+    MetricsRegistry,
+)
+from .sampler import SimTimeSampler
+
+__all__ = [
+    "ChromeTraceSink",
+    "DEFAULT_NS_BUCKETS",
+    "JsonlTraceSink",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "SimTimeSampler",
+    "TraceSink",
+    "export_chrome_trace",
+    "export_jsonl_trace",
+]

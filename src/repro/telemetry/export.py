@@ -1,0 +1,267 @@
+"""Streaming trace export: JSONL and Chrome trace-event sinks.
+
+A :class:`TraceSink` receives every :class:`~repro.core.trace.TraceEvent`
+the moment :meth:`ProtocolTracer.record` accepts it -- independently of
+the tracer's in-memory retention, so a long soak run can stream its full
+event history to disk while keeping only a small ring in memory (or no
+events at all, with ``tracer.retain = False``).
+
+Two sinks are provided:
+
+* :class:`JsonlTraceSink` -- one sorted-key JSON object per line,
+  written incrementally (O(1) memory).  The canonical machine-readable
+  format; byte-identical across same-seed runs.
+* :class:`ChromeTraceSink` -- the Chrome trace-event format (a ``.json``
+  file loadable in Perfetto / ``chrome://tracing``).  One track per
+  processor (faults, shootdowns), one ``daemon`` track (defrost runs),
+  one ``xfer`` track (block transfers), plus per-cpage *async spans*
+  covering every frozen interval.  Events are buffered and sorted by
+  timestamp at :meth:`close` so ``ts`` is monotone per track -- use the
+  JSONL sink when constant memory matters.
+
+Timestamps: simulated nanoseconds in JSONL (exact integers), simulated
+microseconds in Chrome traces (the format's unit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from ..core.trace import EventKind, TraceEvent
+
+
+class TraceSink:
+    """Interface: receives events as they are recorded."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and finalize; further emits are undefined."""
+
+
+def _open(destination: Union[str, Path, IO[str]]) -> tuple[IO[str], bool]:
+    """(stream, owns_it) for a path or an already-open text stream."""
+    if hasattr(destination, "write"):
+        return destination, False  # type: ignore[return-value]
+    path = Path(destination)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    return open(path, "w"), True
+
+
+class JsonlTraceSink(TraceSink):
+    """Stream events as JSON Lines, one object per event.
+
+    Record shape (keys sorted, compact separators)::
+
+        {"cpage":3,"detail":{...},"kind":"fault","proc":1,"time":81230}
+    """
+
+    def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
+        self.stream, self._owns = _open(destination)
+        self.emitted = 0
+        self.closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self.stream.write(json.dumps(
+            {
+                "time": event.time,
+                "kind": event.kind.value,
+                "cpage": event.cpage_index,
+                "proc": event.processor,
+                "detail": event.detail,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ))
+        self.stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stream.flush()
+        if self._owns:
+            self.stream.close()
+
+
+#: pseudo-track ids used beyond the per-processor tracks
+DAEMON_TRACK = "daemon"
+XFER_TRACK = "xfer"
+
+#: the single Chrome trace process all tracks live in
+_PID = 1
+
+
+class ChromeTraceSink(TraceSink):
+    """Collect events into Chrome trace-event format (JSON).
+
+    The file is written on :meth:`close`: a ``traceEvents`` array sorted
+    by timestamp (monotone ``ts`` per track), with thread-name metadata
+    so Perfetto labels the tracks ``cpu0..cpuN-1``, ``daemon`` and
+    ``xfer``.  Frozen intervals appear as async spans (``ph: b``/``e``,
+    category ``frozen``) identified by cpage index; spans still open at
+    close are ended at the last event timestamp.
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, Path, IO[str]],
+        n_processors: Optional[int] = None,
+    ) -> None:
+        self.stream, self._owns = _open(destination)
+        self.events: list[dict] = []
+        #: cpage index -> track id of the currently open frozen span
+        self._open_freezes: dict[int, int] = {}
+        self._max_ts_ns = 0
+        self._tids: set = set()
+        self.closed = False
+        if n_processors:
+            for proc in range(n_processors):
+                self._tids.add(proc)
+
+    # -- track naming -------------------------------------------------------
+
+    @staticmethod
+    def _tid_sort_key(tid) -> int:
+        if isinstance(tid, int):
+            return tid
+        return 10_000 if tid == DAEMON_TRACK else 10_001
+
+    def _metadata(self) -> list[dict]:
+        records = [{
+            "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+            "args": {"name": "platinum"},
+        }]
+        for tid in sorted(self._tids, key=self._tid_sort_key):
+            name = f"cpu{tid}" if isinstance(tid, int) else tid
+            records.append({
+                "ph": "M", "pid": _PID,
+                "tid": self._tid_sort_key(tid),
+                "name": "thread_name", "args": {"name": name},
+            })
+        return records
+
+    # -- event mapping ------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        ts = event.time / 1e3  # ns -> us
+        self._max_ts_ns = max(self._max_ts_ns, event.time)
+        kind = event.kind
+        if kind is EventKind.TRANSFER:
+            tid = XFER_TRACK
+        elif kind is EventKind.DEFROST_RUN:
+            tid = DAEMON_TRACK
+        elif event.processor is not None:
+            tid = event.processor
+        else:
+            tid = DAEMON_TRACK
+        self._tids.add(tid)
+        args = dict(event.detail)
+        if event.cpage_index is not None:
+            args["cpage"] = event.cpage_index
+        base = {
+            "pid": _PID,
+            "tid": self._tid_sort_key(tid),
+            "ts": ts,
+            "cat": kind.value,
+            "args": args,
+        }
+        if kind is EventKind.FREEZE and event.cpage_index is not None:
+            # the instant on the freezing processor's track...
+            self.events.append(
+                {**base, "ph": "i", "s": "t", "name": "freeze"}
+            )
+            # ...plus the opening edge of the frozen async span
+            if event.cpage_index not in self._open_freezes:
+                self._open_freezes[event.cpage_index] = base["tid"]
+                self.events.append({
+                    "ph": "b", "pid": _PID, "tid": base["tid"],
+                    "ts": ts, "cat": "frozen",
+                    "id": event.cpage_index,
+                    "name": f"frozen cpage{event.cpage_index}",
+                    "args": {"cpage": event.cpage_index},
+                })
+            return
+        if kind is EventKind.THAW and event.cpage_index is not None:
+            self.events.append(
+                {**base, "ph": "i", "s": "t", "name": "thaw"}
+            )
+            if event.cpage_index in self._open_freezes:
+                del self._open_freezes[event.cpage_index]
+                self.events.append({
+                    "ph": "e", "pid": _PID, "tid": base["tid"],
+                    "ts": ts, "cat": "frozen",
+                    "id": event.cpage_index,
+                    "name": f"frozen cpage{event.cpage_index}",
+                    "args": {},
+                })
+            return
+        name = kind.value
+        if kind is EventKind.FAULT:
+            name = f"fault:{event.detail.get('action', '?')}"
+        elif kind is EventKind.TRANSFER:
+            name = (
+                f"xfer m{event.detail.get('src')}->"
+                f"m{event.detail.get('dst')}"
+            )
+        self.events.append({**base, "ph": "i", "s": "t", "name": name})
+
+    # -- finalization -------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        end_ts = self._max_ts_ns / 1e3
+        for cpage_index, tid in sorted(self._open_freezes.items()):
+            self.events.append({
+                "ph": "e", "pid": _PID, "tid": tid,
+                "ts": end_ts, "cat": "frozen", "id": cpage_index,
+                "name": f"frozen cpage{cpage_index}", "args": {},
+            })
+        self._open_freezes.clear()
+        # stable sort by timestamp: per-track order becomes monotone
+        # while same-timestamp events keep their recording order
+        self.events.sort(key=lambda e: e["ts"])
+        doc = {
+            "traceEvents": self._metadata() + self.events,
+            "displayTimeUnit": "ms",
+        }
+        json.dump(doc, self.stream)
+        self.stream.write("\n")
+        self.stream.flush()
+        if self._owns:
+            self.stream.close()
+
+
+def export_chrome_trace(
+    tracer,
+    destination: Union[str, Path, IO[str]],
+    n_processors: Optional[int] = None,
+) -> int:
+    """Post-hoc export: write a tracer's retained events as a Chrome
+    trace.  Returns the number of events exported.  (For streaming
+    export attach the sink *before* the run with ``tracer.add_sink``.)"""
+    sink = ChromeTraceSink(destination, n_processors=n_processors)
+    events = tracer.ordered()
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    return len(events)
+
+
+def export_jsonl_trace(
+    tracer, destination: Union[str, Path, IO[str]]
+) -> int:
+    """Post-hoc export of a tracer's retained events as JSON Lines."""
+    sink = JsonlTraceSink(destination)
+    events = tracer.ordered()
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    return len(events)

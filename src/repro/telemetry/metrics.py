@@ -1,0 +1,319 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Paper section 9 names "instrumentation for performance monitoring,
+analysis, and visualization" as future work; this module is the
+continuous half of that instrumentation (``repro.core.instrumentation``
+is the post-mortem half).  Protocol components create *instruments* from
+one :class:`MetricsRegistry` at construction time and bump them on the
+hot path; the registry renders everything to a JSONL stream, a flat
+totals dict, or a human-readable table.
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** -- every instrument write is one
+  attribute load and one branch (``if registry.enabled``), the same
+  pattern :class:`~repro.core.trace.ProtocolTracer` uses.  Components
+  keep pre-bound instrument (and label-child) references so the disabled
+  path never touches a dict;
+* **deterministic output** -- values derive only from simulated work, so
+  two same-seed runs emit byte-identical JSONL (collection order is
+  registration order, label children in first-bound order);
+* **label support** without cardinality surprises -- labels are bound
+  positionally via :meth:`Metric.labels`, children are cached per value
+  tuple, and the catalog (docs/OBSERVABILITY.md) bounds each metric's
+  label set to processors, cpages or event kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Optional, Sequence
+
+#: default histogram bucket upper bounds for nanosecond durations
+#: (1 us .. 100 ms, roughly logarithmic; +Inf is implicit)
+DEFAULT_NS_BUCKETS = (
+    1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 1e8,
+)
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics registry (type clash, bad labels...)."""
+
+
+class _Child:
+    """One labeled series of a counter or gauge."""
+
+    __slots__ = ("registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self.registry = registry
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.registry.enabled:
+            self.value += amount
+
+    def set(self, value: float) -> None:
+        if self.registry.enabled:
+            self.value = value
+
+    def get(self) -> float:
+        return self.value
+
+
+class _HistogramChild:
+    """One labeled series of a histogram."""
+
+    __slots__ = ("registry", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, registry: "MetricsRegistry", buckets: Sequence[float]
+    ) -> None:
+        self.registry = registry
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Metric:
+    """One named metric; holds its label children."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        unit: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(labels)
+        self.unit = unit
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple, object] = {}
+        if not self.label_names:
+            # the unlabeled series exists from birth so zero values render
+            self.labels()
+
+    def _new_child(self):
+        if self.kind == "histogram":
+            assert self.buckets is not None
+            return _HistogramChild(self.registry, self.buckets)
+        return _Child(self.registry)
+
+    def labels(self, *values):
+        """The child series for one label-value tuple (cached)."""
+        if len(values) != len(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {values!r}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._new_child()
+            self._children[values] = child
+        return child
+
+    # unlabeled convenience passthroughs ------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def get(self, *values) -> float:
+        child = self.labels(*values)
+        if isinstance(child, _HistogramChild):
+            return child.sum
+        return child.value
+
+    @property
+    def total(self) -> float:
+        """Sum over every label child (histograms: total observations)."""
+        if self.kind == "histogram":
+            return float(sum(c.count for c in self._children.values()))
+        return float(sum(c.value for c in self._children.values()))
+
+    def series(self) -> Iterator[tuple[dict, object]]:
+        """Yield ``({label: value}, child)`` in first-bound order."""
+        for values, child in self._children.items():
+            yield dict(zip(self.label_names, values)), child
+
+
+class MetricsRegistry:
+    """Creates, owns and renders instruments.
+
+    Disabled by default (``MetricsRegistry()``): instruments can be
+    created and bound, but every write is a no-op branch.  Enable at
+    construction (``MetricsRegistry(enabled=True)``) or any time later
+    with :meth:`enable`.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Metric] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- instrument creation -------------------------------------------------
+
+    def _register(
+        self, name: str, kind: str, help: str, labels: Sequence[str],
+        unit: str, buckets: Optional[Sequence[float]] = None,
+    ) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if metric.kind != kind or metric.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}{metric.label_names}, cannot "
+                    f"re-register as {kind}{tuple(labels)}"
+                )
+            return metric
+        metric = Metric(self, name, kind, help=help, labels=labels,
+                        unit=unit, buckets=buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = (),
+        unit: str = "",
+    ) -> Metric:
+        """A monotonically increasing count (faults, shootdowns...)."""
+        return self._register(name, "counter", help, labels, unit)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = (),
+        unit: str = "",
+    ) -> Metric:
+        """A point-in-time value (queue depth, frozen pages...)."""
+        return self._register(name, "gauge", help, labels, unit)
+
+    def histogram(
+        self, name: str, help: str = "", labels: Sequence[str] = (),
+        unit: str = "", buckets: Sequence[float] = DEFAULT_NS_BUCKETS,
+    ) -> Metric:
+        """A fixed-bucket distribution (fault-handler latency...)."""
+        return self._register(name, "histogram", help, labels, unit,
+                              buckets=buckets)
+
+    # -- introspection -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> list[dict]:
+        """Every (metric, label set) as one flat JSON-able record."""
+        records: list[dict] = []
+        for metric in self._metrics.values():
+            for label_dict, child in metric.series():
+                record: dict = {
+                    "record": "metric",
+                    "name": metric.name,
+                    "type": metric.kind,
+                    "labels": label_dict,
+                }
+                if metric.unit:
+                    record["unit"] = metric.unit
+                if isinstance(child, _HistogramChild):
+                    record["buckets"] = list(child.buckets)
+                    record["counts"] = list(child.counts)
+                    record["sum"] = child.sum
+                    record["count"] = child.count
+                else:
+                    record["value"] = child.value
+                records.append(record)
+        return records
+
+    def totals(self) -> dict[str, float]:
+        """Per-metric totals summed over labels (histograms: counts)."""
+        return {m.name: m.total for m in self._metrics.values()}
+
+    def summary(self) -> dict:
+        """Compact deterministic summary for BENCH document embedding."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self._metrics.values():
+            if metric.kind == "counter":
+                out["counters"][metric.name] = metric.total
+            elif metric.kind == "gauge":
+                out["gauges"][metric.name] = metric.total
+            else:
+                total_sum = sum(
+                    c.sum for _, c in metric.series()
+                )
+                out["histograms"][metric.name] = {
+                    "count": metric.total,
+                    "sum": total_sum,
+                }
+        return out
+
+    def to_jsonl(self) -> str:
+        """One sorted-key JSON object per line; byte-deterministic for a
+        given simulated run."""
+        return "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n"
+            for record in self.collect()
+        )
+
+    def format(self, max_series: int = 12) -> str:
+        """A human-readable metrics table."""
+        lines = [f"metrics registry ({len(self._metrics)} metrics, "
+                 f"{'enabled' if self.enabled else 'disabled'})"]
+        for metric in self._metrics.values():
+            unit = f" {metric.unit}" if metric.unit else ""
+            if metric.kind == "histogram":
+                lines.append(
+                    f"  {metric.name} (histogram): "
+                    f"count={metric.total:.0f}"
+                )
+                continue
+            lines.append(
+                f"  {metric.name} ({metric.kind}): "
+                f"{metric.total:g}{unit}"
+            )
+            series = list(metric.series())
+            if len(series) > 1:
+                shown = series[:max_series]
+                for label_dict, child in shown:
+                    label = ",".join(
+                        f"{k}={v}" for k, v in label_dict.items()
+                    )
+                    lines.append(f"    {{{label}}} {child.value:g}")
+                if len(series) > max_series:
+                    lines.append(
+                        f"    ... and {len(series) - max_series} more "
+                        "series"
+                    )
+        return "\n".join(lines)

@@ -8,6 +8,7 @@ from repro.analysis import (
     page_heat,
     processor_profile,
     run_dashboard,
+    sample_timeline,
 )
 from repro.workloads import GaussianElimination
 
@@ -67,3 +68,77 @@ def test_strip_rendering_bounds():
     assert len(strip) == 4
     assert strip[0] == RAMP[0]
     assert strip[-1] == RAMP[-1]
+
+
+def test_strip_width_clamping():
+    from repro.analysis.visualize import RAMP, _strip
+
+    # width below the series length truncates
+    assert len(_strip([1.0] * 10, width=4)) == 4
+    # width beyond the series length renders everything once
+    assert len(_strip([1.0, 2.0], width=100)) == 2
+    # an all-zero series must not divide by zero
+    assert _strip([0.0, 0.0, 0.0]) == RAMP[0] * 3
+
+
+def test_empty_tracer_profiles_and_heat():
+    """A traced kernel that never ran still renders every panel."""
+    kernel = make_kernel(n_processors=2, trace=True)
+    assert "cpu0" in processor_profile(kernel)
+    assert "no trace events" in page_heat(kernel.tracer, kernel)
+    assert "no trace events" in event_rate(kernel.tracer)
+    text = run_dashboard(kernel)
+    assert "per-processor memory profile" in text
+
+
+def test_single_event_tracer_renders():
+    from repro.core.trace import EventKind
+
+    kernel = make_kernel(n_processors=2, trace=True)
+    kernel.coherent.cpages.create(label="solo")
+    # a single event at t=0 exercises the t_end=0 guard in both panels
+    kernel.tracer.record(0, EventKind.FAULT, 0, 0, action="replicate")
+    heat = page_heat(kernel.tracer, kernel)
+    assert "1 events" in heat
+    rate = event_rate(kernel.tracer)
+    assert "fault" in rate
+
+
+def test_dashboard_warns_about_dropped_events(traced_run):
+    tracer = traced_run.tracer
+    saved = tracer.dropped, tracer.ring
+    try:
+        tracer.dropped, tracer.ring = 7, False
+        assert "7 events dropped" in run_dashboard(traced_run)
+        tracer.ring = True
+        assert "7 oldest events evicted" in run_dashboard(traced_run)
+    finally:
+        tracer.dropped, tracer.ring = saved
+
+
+def test_sample_timeline_renders_series():
+    from repro.telemetry import SimTimeSampler
+
+    kernel = make_kernel(n_processors=4)
+    sampler = SimTimeSampler(kernel, period_ms=0.5)
+    sampler.start()
+    run_program(
+        kernel,
+        GaussianElimination(n=24, n_threads=4, verify_result=False),
+    )
+    text = sample_timeline(sampler, width=40)
+    assert "sampled system state" in text
+    assert "frozen pages" in text
+    assert "faults/ms" in text
+    # strips are clamped to the requested width
+    for line in text.splitlines():
+        if "|" in line:
+            assert len(line.split("|")[1]) <= 40
+
+
+def test_sample_timeline_empty_sampler():
+    from repro.telemetry import SimTimeSampler
+
+    kernel = make_kernel(n_processors=2)
+    sampler = SimTimeSampler(kernel)
+    assert "no samples" in sample_timeline(sampler)

@@ -88,6 +88,49 @@ def test_counters_aggregate_over_points(smoke_docs):
     assert doc["counters"]["points"] == len(doc["points"])
 
 
+def test_telemetry_block_aggregates_point_summaries(smoke_docs):
+    doc = smoke_docs["fig1_gauss"]
+    telemetry = doc["telemetry"]
+    run_points = [
+        p for p in doc["points"]
+        if isinstance(p["metrics"].get("telemetry"), dict)
+    ]
+    assert telemetry["points_with_telemetry"] == len(run_points) > 0
+    # the doc-level counters are the sum of the per-point summaries...
+    assert telemetry["counters"]["faults_total"] == sum(
+        p["metrics"]["telemetry"]["counters"]["faults_total"]
+        for p in run_points
+    )
+    # ...and the registry agrees with the post-mortem counter aggregate
+    assert telemetry["counters"]["faults_total"] == \
+        doc["counters"]["faults"]
+    assert telemetry["counters"]["shootdowns_total"] == \
+        doc["counters"]["shootdowns"]
+    hist = telemetry["histograms"]["fault_handler_ns"]
+    assert hist["count"] == doc["counters"]["faults"]
+
+
+def test_telemetry_block_validates_and_spec_can_opt_out(smoke_docs):
+    from repro.bench.targets import execute_point
+
+    doc = dict(smoke_docs["fig1_gauss"])
+    doc["telemetry"] = "nope"
+    assert any("doc.telemetry" in p for p in validate_bench(doc))
+    doc["telemetry"] = {"counters": {}}
+    assert any("points_with_telemetry" in p
+               for p in validate_bench(doc))
+    # analytic targets carry no telemetry and stay valid without it
+    assert "telemetry" not in smoke_docs["tab1_costmodel"]
+    # a run spec can opt out explicitly
+    metrics = execute_point(
+        {"kind": "run", "workload": "gauss", "machine": 2,
+         "telemetry": False,
+         "args": {"n": 8, "n_threads": 2, "verify_result": False}},
+        seed=0,
+    )
+    assert "telemetry" not in metrics
+
+
 def test_derived_speedup_curve_shape(smoke_docs):
     curve = smoke_docs["fig1_gauss"]["derived"]["curve"]
     assert [pt["processors"] for pt in curve["points"]] == \

@@ -117,6 +117,82 @@ def test_dashboard_command(capsys):
     assert "protocol activity" in out
 
 
+def test_run_trace_out_chrome(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "gauss", "-n", "12", "-p", "2", "--machine", "2",
+        "--no-verify", "--trace-out", str(out_path),
+    )
+    assert code == 0
+    assert f"wrote trace to {out_path}" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+    # streaming only: no --trace means nothing is retained in memory
+    assert "protocol trace" not in out
+
+
+def test_run_trace_out_jsonl_with_timeline(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    code, out = run_cli(
+        capsys, "gauss", "-n", "12", "-p", "2", "--machine", "2",
+        "--no-verify", "--trace", "--trace-out", str(out_path),
+    )
+    assert code == 0
+    assert "protocol trace" in out  # retained AND streamed
+    lines = out_path.read_text().splitlines()
+    assert lines
+    assert json.loads(lines[0])["kind"]
+
+
+def test_run_metrics_out(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "metrics.jsonl"
+    code, out = run_cli(
+        capsys, "gauss", "-n", "12", "-p", "2", "--machine", "2",
+        "--no-verify", "--metrics-out", str(out_path),
+        "--sample-ms", "2",
+    )
+    assert code == 0
+    records = [json.loads(line)
+               for line in out_path.read_text().splitlines()]
+    kinds = {r["record"] for r in records}
+    assert kinds == {"metric", "sample"}
+
+
+def test_metrics_command(capsys):
+    code, out = run_cli(
+        capsys, "metrics", "gauss", "-n", "16", "-p", "2",
+        "--machine", "2",
+    )
+    assert code == 0
+    assert "metrics registry" in out
+    assert "faults_total" in out
+    assert "sampled system state" in out
+
+
+def test_metrics_command_writes_out(tmp_path, capsys):
+    out_path = tmp_path / "m.jsonl"
+    code, out = run_cli(
+        capsys, "metrics", "gauss", "-n", "16", "-p", "2",
+        "--machine", "2", "--out", str(out_path),
+    )
+    assert code == 0
+    assert out_path.exists()
+
+
+def test_run_help_documents_retention(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "gauss", "--help")
+    out = capsys.readouterr().out
+    assert "trace retention modes" in out
+    assert "Perfetto" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

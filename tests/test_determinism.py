@@ -98,6 +98,52 @@ def test_serial_and_parallel_sweep_emit_equal_documents():
         strip_wall_clock(docs_parallel["ablation_rpc"])
 
 
+def test_same_seed_runs_export_byte_identical_jsonl():
+    """Two same-seed runs streaming through JsonlTraceSink must write
+    byte-identical files, and the metrics registry must serialize
+    byte-identically too."""
+    import io
+
+    from repro.telemetry import JsonlTraceSink
+
+    def run():
+        kernel = make_kernel(n_processors=4, metrics=True, trace=True)
+        buf = io.StringIO()
+        kernel.tracer.add_sink(JsonlTraceSink(buf))
+        run_program(kernel, GaussianElimination(
+            n=24, n_threads=4, seed=1989, verify_result=False,
+        ))
+        kernel.tracer.close_sinks()
+        return buf.getvalue(), kernel.metrics.to_jsonl()
+
+    trace_a, metrics_a = run()
+    trace_b, metrics_b = run()
+    assert trace_a == trace_b
+    assert metrics_a == metrics_b
+    assert trace_a  # non-vacuous: something was exported
+    assert metrics_a
+
+
+def test_telemetry_off_matches_untouched_run():
+    """A kernel with the default (disabled) registry must produce
+    exactly the results of the seed-era untouched kernel -- telemetry
+    must be invisible when off *and* when on (it only reads state)."""
+    from repro.telemetry import MetricsRegistry
+
+    def run(metrics):
+        kernel = make_kernel(n_processors=4, trace=True, metrics=metrics)
+        result = run_program(kernel, GaussianElimination(
+            n=24, n_threads=4, seed=1989, verify_result=False,
+        ))
+        return _trace_hash(kernel), result.sim_time_ns, \
+            run_counters(result)
+
+    off = run(False)
+    on = run(True)
+    shared = run(MetricsRegistry(enabled=True))
+    assert off == on == shared
+
+
 def test_base_seed_changes_point_seeds_not_results():
     # simulation points carry their seed in the document, but the
     # workloads are seeded explicitly, so results must not drift

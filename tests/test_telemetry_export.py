@@ -1,0 +1,206 @@
+"""Tests for streaming trace export (repro.telemetry.export)."""
+
+import io
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.core.trace import EventKind, ProtocolTracer
+from repro.telemetry import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    export_chrome_trace,
+    export_jsonl_trace,
+)
+from repro.workloads import GaussianElimination, PhaseChangeSharing
+
+
+# -- sink plumbing on the tracer ----------------------------------------------
+
+
+def test_add_sink_enables_tracer_and_streams():
+    tracer = ProtocolTracer()
+    buf = io.StringIO()
+    sink = JsonlTraceSink(buf)
+    tracer.add_sink(sink)
+    assert tracer.enabled
+    tracer.record(10, EventKind.FAULT, 1, 0, action="replicate")
+    tracer.record(20, EventKind.THAW, 1, None, via="defrost")
+    tracer.close_sinks()
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "time": 10, "kind": "fault", "cpage": 1, "proc": 0,
+        "detail": {"action": "replicate"},
+    }
+
+
+def test_retain_false_streams_without_retention():
+    tracer = ProtocolTracer()
+    buf = io.StringIO()
+    sink = JsonlTraceSink(buf)
+    tracer.add_sink(sink)
+    tracer.retain = False
+    tracer.record(10, EventKind.FAULT, 1, 0)
+    assert len(tracer.events) == 0
+    assert sink.emitted == 1
+
+
+def test_sink_receives_events_dropped_at_the_cap():
+    tracer = ProtocolTracer(enabled=True, max_events=1)
+    buf = io.StringIO()
+    tracer.add_sink(JsonlTraceSink(buf))
+    tracer.record(1, EventKind.FAULT, 0, 0)
+    tracer.record(2, EventKind.FAULT, 0, 0)
+    assert len(tracer.events) == 1
+    assert tracer.dropped == 1
+    assert len(buf.getvalue().splitlines()) == 2
+
+
+def test_remove_sink_stops_streaming():
+    tracer = ProtocolTracer(enabled=True)
+    buf = io.StringIO()
+    sink = JsonlTraceSink(buf)
+    tracer.add_sink(sink)
+    tracer.record(1, EventKind.FAULT, 0, 0)
+    tracer.remove_sink(sink)
+    tracer.record(2, EventKind.FAULT, 0, 0)
+    assert sink.emitted == 1
+
+
+# -- Chrome trace format -------------------------------------------------------
+
+
+def _chrome_doc(buf: io.StringIO) -> dict:
+    return json.loads(buf.getvalue())
+
+
+def test_chrome_sink_tracks_and_metadata():
+    buf = io.StringIO()
+    sink = ChromeTraceSink(buf, n_processors=2)
+    sink.emit(_event(1000, EventKind.FAULT, 3, 1, action="migrate"))
+    sink.emit(_event(2000, EventKind.TRANSFER, 3, None, src=0, dst=1))
+    sink.emit(_event(3000, EventKind.DEFROST_RUN, None, None, thawed=0))
+    sink.close()
+    doc = _chrome_doc(buf)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta
+             if e["name"] == "thread_name"}
+    assert {"cpu0", "cpu1", "daemon", "xfer"} <= names
+    fault = next(e for e in events if e.get("name") == "fault:migrate")
+    assert fault["ph"] == "i"
+    assert fault["tid"] == 1
+    assert fault["ts"] == 1.0  # ns -> us
+    assert fault["args"]["cpage"] == 3
+    xfer = next(e for e in events if e.get("name") == "xfer m0->m1")
+    assert xfer["cat"] == "transfer"
+
+
+def test_chrome_sink_freeze_thaw_async_span():
+    buf = io.StringIO()
+    sink = ChromeTraceSink(buf)
+    sink.emit(_event(1000, EventKind.FREEZE, 5, 0))
+    sink.emit(_event(9000, EventKind.THAW, 5, 0, via="defrost"))
+    sink.close()
+    events = _chrome_doc(buf)["traceEvents"]
+    begin = next(e for e in events if e["ph"] == "b")
+    end = next(e for e in events if e["ph"] == "e")
+    assert begin["cat"] == end["cat"] == "frozen"
+    assert begin["id"] == end["id"] == 5
+    assert begin["ts"] == 1.0 and end["ts"] == 9.0
+
+
+def test_chrome_sink_closes_open_spans_at_last_ts():
+    buf = io.StringIO()
+    sink = ChromeTraceSink(buf)
+    sink.emit(_event(1000, EventKind.FREEZE, 5, 0))
+    sink.emit(_event(50_000, EventKind.FAULT, 1, 0, action="remote_map"))
+    sink.close()
+    events = _chrome_doc(buf)["traceEvents"]
+    end = next(e for e in events if e["ph"] == "e")
+    assert end["ts"] == 50.0
+
+
+def test_chrome_ts_monotone_per_track_from_a_real_run():
+    kernel = make_kernel(n_processors=4, trace=True)
+    buf = io.StringIO()
+    kernel.tracer.add_sink(
+        ChromeTraceSink(buf, n_processors=4)
+    )
+    run_program(kernel, GaussianElimination(
+        n=24, n_threads=4, verify_result=False,
+    ))
+    kernel.tracer.close_sinks()
+    events = _chrome_doc(buf)["traceEvents"]
+    by_track = defaultdict(list)
+    for e in events:
+        if e["ph"] != "M":
+            by_track[e["tid"]].append(e["ts"])
+    assert by_track
+    for tid, stamps in by_track.items():
+        assert stamps == sorted(stamps), f"track {tid} not monotone"
+
+
+def test_chrome_frozen_spans_balance_over_a_freezing_run():
+    kernel = make_kernel(n_processors=4, trace=True,
+                         defrost_period=30e6)
+    buf = io.StringIO()
+    kernel.tracer.add_sink(ChromeTraceSink(buf, n_processors=4))
+    run_program(kernel, PhaseChangeSharing(n_threads=4))
+    kernel.tracer.close_sinks()
+    events = _chrome_doc(buf)["traceEvents"]
+    begins = sum(1 for e in events if e["ph"] == "b")
+    ends = sum(1 for e in events if e["ph"] == "e")
+    assert begins > 0
+    assert begins == ends
+
+
+# -- post-hoc export helpers and file output -----------------------------------
+
+
+def test_export_helpers_write_files(tmp_path):
+    kernel = make_kernel(n_processors=2, trace=True)
+    run_program(kernel, GaussianElimination(
+        n=12, n_threads=2, verify_result=False,
+    ))
+    jsonl = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "nested" / "trace.json"
+    n_j = export_jsonl_trace(kernel.tracer, jsonl)
+    n_c = export_chrome_trace(kernel.tracer, chrome, n_processors=2)
+    assert n_j == n_c == len(kernel.tracer.events)
+    lines = jsonl.read_text().splitlines()
+    assert len(lines) == n_j
+    times = [json.loads(line)["time"] for line in lines]
+    assert times == sorted(times)  # ordered() sorts post-hoc exports
+    doc = json.loads(chrome.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_streamed_jsonl_matches_retained_events():
+    kernel = make_kernel(n_processors=2, trace=True)
+    buf = io.StringIO()
+    kernel.tracer.add_sink(JsonlTraceSink(buf))
+    run_program(kernel, GaussianElimination(
+        n=12, n_threads=2, verify_result=False,
+    ))
+    kernel.tracer.close_sinks()
+    assert len(buf.getvalue().splitlines()) == len(kernel.tracer.events)
+
+
+def test_sink_close_is_idempotent(tmp_path):
+    sink = JsonlTraceSink(tmp_path / "t.jsonl")
+    sink.close()
+    sink.close()
+    chrome = ChromeTraceSink(tmp_path / "t.json")
+    chrome.close()
+    chrome.close()
+
+
+def _event(time, kind, cpage, proc, **detail):
+    from repro.core.trace import TraceEvent
+
+    return TraceEvent(time, kind, cpage, proc, detail)

@@ -1,0 +1,179 @@
+"""Tests for the metrics registry (repro.telemetry.metrics)."""
+
+import json
+
+import pytest
+
+from repro import make_kernel, run_program
+from repro.telemetry import DEFAULT_NS_BUCKETS, MetricError, MetricsRegistry
+from repro.workloads import GaussianElimination
+
+
+# -- instrument mechanics ------------------------------------------------------
+
+
+def test_disabled_registry_ignores_writes():
+    reg = MetricsRegistry()
+    c = reg.counter("c", "a counter")
+    g = reg.gauge("g", "a gauge")
+    h = reg.histogram("h", "a histogram")
+    c.inc()
+    g.set(7)
+    h.observe(123.0)
+    assert c.total == 0
+    assert g.total == 0
+    assert h.total == 0
+
+
+def test_enabled_counter_gauge_histogram():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.total == 3.5
+    g = reg.gauge("g")
+    g.set(4)
+    g.set(9)
+    assert g.total == 9
+    h = reg.histogram("h", buckets=(10, 100))
+    h.observe(5)
+    h.observe(50)
+    h.observe(5000)
+    child = h.labels()
+    assert child.counts == [1, 1, 1]  # <=10, <=100, +Inf
+    assert child.count == 3
+    assert child.sum == 5055
+
+
+def test_labels_cached_and_summed():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("faults", labels=("processor",))
+    a = c.labels(0)
+    b = c.labels(0)
+    assert a is b
+    c.labels(0).inc()
+    c.labels(1).inc(2)
+    assert c.total == 3
+    series = {tuple(d.items()): ch.value for d, ch in c.series()}
+    assert series == {(("processor", 0),): 1.0, (("processor", 1),): 2.0}
+
+
+def test_label_arity_is_checked():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("c", labels=("a", "b"))
+    with pytest.raises(MetricError):
+        c.labels(1)
+
+
+def test_registration_is_idempotent_but_type_clash_raises():
+    reg = MetricsRegistry()
+    a = reg.counter("n", labels=("x",))
+    b = reg.counter("n", labels=("x",))
+    assert a is b
+    with pytest.raises(MetricError):
+        reg.gauge("n", labels=("x",))
+    with pytest.raises(MetricError):
+        reg.counter("n", labels=("x", "y"))
+
+
+def test_enable_midway_counts_only_after():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    c.inc()
+    reg.enable()
+    c.inc()
+    assert c.total == 1
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def test_collect_and_jsonl_shapes():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("c", "help", labels=("p",), unit="ops").labels(3).inc()
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    records = reg.collect()
+    by_name = {r["name"]: r for r in records}
+    assert by_name["c"]["type"] == "counter"
+    assert by_name["c"]["labels"] == {"p": 3}
+    assert by_name["c"]["value"] == 1.0
+    assert by_name["c"]["unit"] == "ops"
+    assert by_name["h"]["buckets"] == [1.0]
+    assert by_name["h"]["counts"] == [1, 0]
+    for line in reg.to_jsonl().splitlines():
+        rec = json.loads(line)
+        assert rec["record"] == "metric"
+
+
+def test_totals_and_summary():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(5)
+    reg.histogram("h").observe(10)
+    assert reg.totals() == {"c": 2.0, "g": 5.0, "h": 1.0}
+    s = reg.summary()
+    assert s["counters"] == {"c": 2.0}
+    assert s["gauges"] == {"g": 5.0}
+    assert s["histograms"] == {"h": {"count": 1.0, "sum": 10.0}}
+
+
+def test_format_is_readable():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("faults_total", labels=("processor",))
+    c.labels(0).inc()
+    c.labels(1).inc()
+    text = reg.format()
+    assert "faults_total" in text
+    assert "{processor=0}" in text
+
+
+def test_default_ns_buckets_are_increasing():
+    assert list(DEFAULT_NS_BUCKETS) == sorted(DEFAULT_NS_BUCKETS)
+
+
+# -- integration with the simulated kernel ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def metered_run():
+    kernel = make_kernel(n_processors=4, metrics=True)
+    result = run_program(kernel, GaussianElimination(
+        n=24, n_threads=4, verify_result=False,
+    ))
+    return kernel, result
+
+
+def test_counters_agree_with_the_post_mortem_report(metered_run):
+    kernel, result = metered_run
+    totals = kernel.metrics.totals()
+    report = result.report
+    assert totals["faults_total"] == report.total_faults
+    assert totals["shootdowns_total"] == \
+        kernel.coherent.shootdown.shootdowns
+    assert totals["transfers_total"] == report.transfers
+    assert totals["shootdown_ipis_total"] == report.ipis
+
+
+def test_freeze_thaw_counters_match_page_stats(metered_run):
+    kernel, _ = metered_run
+    rows = list(kernel.coherent.cpages)
+    totals = kernel.metrics.totals()
+    assert totals["freezes_total"] == sum(
+        cp.stats.freezes for cp in rows
+    )
+    assert totals["thaws_total"] == sum(cp.stats.thaws for cp in rows)
+
+
+def test_handler_latency_histogram_observes_every_fault(metered_run):
+    kernel, result = metered_run
+    h = kernel.metrics.get("fault_handler_ns")
+    assert h.total == result.report.total_faults
+
+
+def test_default_kernel_has_disabled_registry():
+    kernel = make_kernel(n_processors=2)
+    assert kernel.metrics.enabled is False
+    run_program(kernel, GaussianElimination(
+        n=8, n_threads=2, verify_result=False,
+    ))
+    assert kernel.metrics.totals()["faults_total"] == 0
