@@ -16,6 +16,9 @@ Submodules
     The target registry and the ``execute_point`` dispatcher.
 ``runner``
     Orchestration: targets -> sweep -> validated documents on disk.
+``snapshot``
+    The committed one-file snapshot (``BENCH_smoke.json``) with
+    wall-clock fields stripped for byte-stable comparison.
 """
 
 from .runner import (
@@ -36,6 +39,12 @@ from .schema import (
     validate_bench,
     write_bench,
 )
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    load_snapshot,
+    snapshot_doc,
+    write_snapshot,
+)
 from .sweep import (
     SweepRunner,
     Task,
@@ -51,12 +60,16 @@ __all__ = [
     "SCHEMA",
     "SweepRunner",
     "TARGETS",
+    "SNAPSHOT_SCHEMA",
     "Task",
     "TaskResult",
     "bench_path",
     "execute_point",
     "load_bench",
+    "load_snapshot",
     "make_doc",
+    "snapshot_doc",
+    "write_snapshot",
     "make_tasks",
     "render_text",
     "run_bench",

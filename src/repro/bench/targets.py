@@ -85,6 +85,15 @@ def _exec_run(spec: dict, seed: int) -> dict:
     # telemetry only reads protocol state, so its summary is as
     # deterministic as the counters; spec {"telemetry": False} opts out
     telemetry = spec.get("telemetry", True) and system == "platinum"
+    # {"profile": K} embeds a top-K cost-attribution summary; the
+    # profiler needs the tracer and the access probe, so it is only
+    # meaningful on plain platinum kernels
+    profile = (
+        int(spec.get("profile", 0))
+        if system == "platinum" and not spec.get("competitive")
+        else 0
+    )
+    probe = None
     if system == "uniform":
         kernel = uniform_system_kernel(machine, **params)
         program = UniformSystemGauss(**args)
@@ -112,14 +121,26 @@ def _exec_run(spec: dict, seed: int) -> dict:
                 defrost_enabled=spec.get("defrost", True),
                 defrost_period=spec.get("defrost_period"),
                 metrics=telemetry,
+                trace=profile > 0,
                 **params,
             )
+            if profile:
+                from ..profile import AccessProbe
+
+                probe = AccessProbe.install(kernel.coherent)
         program = _WORKLOADS[spec["workload"]](**args)
     result = run_program(kernel, program)
     metrics = run_counters(result)
     metrics["sim_time_ms"] = result.sim_time_ms
     if telemetry:
         metrics["telemetry"] = kernel.metrics.summary()
+    if probe is not None:
+        from ..profile import ProfileSource, attribution_summary
+
+        source = ProfileSource.from_run(
+            kernel, result, probe, workload=spec.get("workload", "")
+        )
+        metrics["profile"] = attribution_summary(source, top=profile)
     for prefix in spec.get("page_detail", ()):
         rows = [
             r for r in result.report.rows if r.label.startswith(prefix)
@@ -528,6 +549,7 @@ def _points_sec42(scale: str):
                     "defrost": defrost,
                     "defrost_period": 20e6,
                     "page_detail": ["misc"],
+                    "profile": 5,
                     "args": {
                         "n": n,
                         "n_threads": threads,
@@ -543,10 +565,16 @@ def _derive_sec42(ok: dict) -> dict:
     out = {}
     for name, m in ok.items():
         pages = m.get("pages[misc]", {})
+        profile = m.get("profile", {})
+        top = profile.get("top_pages") or [{}]
         out[name] = {
             "sim_time_ms": m.get("sim_time_ms"),
             "misc_was_frozen": pages.get("was_frozen", 0) > 0,
             "misc_faults": pages.get("faults", 0),
+            # the profiler's conclusion: which page costs the most, and
+            # does the attribution tile P*T exactly
+            "top_page": top[0].get("label"),
+            "attribution_reconciled": profile.get("reconciled"),
         }
     return {"configs": out}
 

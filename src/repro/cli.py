@@ -186,7 +186,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_from_file(destination: str) -> int:
+    """Summarize a previously written metrics JSONL file."""
+    import json
+    from pathlib import Path
+
+    path = Path(destination)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"repro metrics: cannot read {path}: "
+              f"{exc.strerror or exc}")
+        return 2
+    metrics: list[dict] = []
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"repro metrics: {path}:{lineno}: not JSON "
+                  f"({exc.msg})")
+            return 2
+        kind = record.get("record") if isinstance(record, dict) else None
+        if kind == "metric":
+            metrics.append(record)
+        elif kind == "sample":
+            samples += 1
+        else:
+            print(f"repro metrics: {path}:{lineno}: not a "
+                  "metric/sample record; is this a metrics JSONL file "
+                  "from --metrics-out or repro metrics --out?")
+            return 2
+    if not metrics and not samples:
+        print(f"repro metrics: {path}: no metric or sample records")
+        return 2
+    print(f"{path}: {len(metrics)} metric record(s), "
+          f"{samples} sample record(s)")
+    for record in metrics:
+        labels = record.get("labels") or {}
+        suffix = (
+            "{" + ",".join(f"{k}={v}"
+                           for k, v in sorted(labels.items())) + "}"
+            if labels else ""
+        )
+        print(f"  {record.get('name')}{suffix} = {record.get('value')}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.from_file is not None:
+        return _metrics_from_file(args.from_file)
+    if args.workload is None:
+        print("repro metrics: give a workload to run, or --from FILE "
+              "to summarize a saved metrics file")
+        return 2
     kernel = make_kernel(n_processors=args.machine, metrics=True)
     sampler = _start_sampler(kernel, args.sample_ms)
     program = _make_program(args.workload, args, args.p)
@@ -202,6 +258,77 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.out:
         lines = _write_metrics_jsonl(kernel, sampler, args.out)
         print(f"\nwrote {lines} metric/sample records to {args.out}")
+    return 0
+
+
+#: workloads `repro explain` can run live
+_EXPLAIN_WORKLOADS = ("gauss", "mergesort", "neural", "jacobi", "matmul")
+
+#: default problem sizes for live `repro explain` runs
+_EXPLAIN_DEFAULT_N = {
+    "gauss": 64, "mergesort": 16384, "neural": 40,
+    "jacobi": 48, "matmul": 48,
+}
+
+
+def _explain_run(args: argparse.Namespace, target: str):
+    """Run a workload live with the tracer and access probe on, and
+    return its :class:`~repro.profile.ProfileSource`.
+
+    ``sec42`` is the paper's section 4.2 anecdote: Gauss with the
+    column-size word sharing a page with the column lock, and a short
+    defrost period so freeze/thaw shows up in a small run.
+    """
+    from .profile import AccessProbe, ProfileSource
+
+    kernel = make_kernel(
+        n_processors=args.machine,
+        trace=True,
+        defrost_period=20e6 if target == "sec42" else None,
+    )
+    probe = AccessProbe.install(kernel.coherent)
+    if target == "sec42":
+        program = GaussianElimination(
+            n=args.n if args.n is not None else 24,
+            n_threads=args.p,
+            verify_result=False,
+            colocate_lock_with_size=True,
+        )
+    else:
+        if args.n is None:
+            args.n = _EXPLAIN_DEFAULT_N[target]
+        program = _make_program(target, args, args.p)
+    result = run_program(kernel, program)
+    return ProfileSource.from_run(kernel, result, probe,
+                                  workload=target)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .profile import ProfileError, ProfileSource, build_explain
+
+    target = args.target
+    try:
+        if target in _EXPLAIN_WORKLOADS or target == "sec42":
+            source = _explain_run(args, target)
+        else:
+            source = ProfileSource.load(target)
+    except ProfileError as exc:
+        print(f"repro explain: {exc}")
+        return 2
+    if args.save:
+        path = source.save(args.save)
+        # stderr so --format json stdout stays a clean document
+        print(f"wrote profile bundle to {path}", file=sys.stderr)
+    report = build_explain(
+        source,
+        top=args.top,
+        page=args.page,
+        critical_path=args.critical_path,
+    )
+    if args.format == "json":
+        sys.stdout.write(report.to_json())
+    else:
+        sys.stdout.write(report.format_text())
     return 0
 
 
@@ -352,6 +479,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     wall = _time.perf_counter() - t0
     out_dir = Path(args.out)
     written = write_results(docs, out_dir)
+    if args.snapshot:
+        from .bench import write_snapshot
+
+        written.append(write_snapshot(docs, scale, args.snapshot))
     total, failed, problems = summarize(docs)
     print()
     print(f"bench {scale}: {len(docs)} target(s), {total} point(s), "
@@ -523,7 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     me.add_argument(
         "workload",
+        nargs="?",
         choices=("gauss", "mergesort", "neural", "jacobi", "matmul"),
+        help="workload to run (omit with --from)",
     )
     workload_args(me, 48)
     me.add_argument("--sample-ms", type=float, default=1.0,
@@ -532,7 +665,61 @@ def build_parser() -> argparse.ArgumentParser:
     me.add_argument("--out", default=None, metavar="PATH",
                     help="also write metric/sample records to PATH as "
                     "JSON Lines")
+    me.add_argument("--from", dest="from_file", default=None,
+                    metavar="FILE",
+                    help="summarize a previously written metrics JSONL "
+                    "file instead of running a workload")
     me.set_defaults(fn=_cmd_metrics, verify=False)
+
+    ex = sub.add_parser(
+        "explain",
+        help="the causal coherence profiler: cost attribution, "
+        "critical path, and per-page policy diagnostics",
+        epilog=(
+            "targets:\n"
+            "  gauss|mergesort|neural|jacobi|matmul\n"
+            "                  run the workload live with the tracer\n"
+            "                  and access probe enabled\n"
+            "  sec42           the section 4.2 anecdote: Gauss with the\n"
+            "                  column lock sharing a page with the\n"
+            "                  column-size word (false sharing)\n"
+            "  PATH.jsonl      a saved profile bundle (explain --save)\n"
+            "                  or a bare --trace-out export (degraded:\n"
+            "                  protocol costs only)\n"
+            "see docs/OBSERVABILITY.md for the category definitions."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ex.add_argument(
+        "target",
+        help="workload name, 'sec42', or a saved .jsonl trace/bundle",
+    )
+    ex.add_argument("-n", type=int, default=None,
+                    help="problem size (live runs; default depends on "
+                    "the workload, 24 for sec42)")
+    ex.add_argument("-p", type=int, default=8,
+                    help="threads to use (live runs)")
+    ex.add_argument("--machine", type=int, default=16,
+                    help="processors in the simulated machine "
+                    "(live runs)")
+    ex.add_argument("--epochs", type=int, default=25,
+                    help="training epochs (neural only)")
+    ex.add_argument("--page", type=int, default=None, metavar="N",
+                    help="include cpage N's diagnosis and lifecycle "
+                    "timeline even if it is not in the top K")
+    ex.add_argument("--top", type=int, default=5, metavar="K",
+                    help="pages to rank (default 5)")
+    ex.add_argument("--critical-path", action="store_true",
+                    help="also compute the longest causally-dependent "
+                    "protocol chain")
+    ex.add_argument("--format", choices=("text", "json"),
+                    default="text",
+                    help="report format (json is canonical and "
+                    "byte-stable across same-seed runs)")
+    ex.add_argument("--save", default=None, metavar="PATH",
+                    help="also write the profile bundle (events + "
+                    "counters) to PATH for later `repro explain PATH`")
+    ex.set_defaults(fn=_cmd_explain, verify=False)
 
     db = sub.add_parser(
         "dashboard",
@@ -585,6 +772,10 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--out", default="benchmarks/results",
                     help="results directory "
                     "(default: benchmarks/results)")
+    be.add_argument("--snapshot", default=None, metavar="PATH",
+                    help="also write the combined snapshot document "
+                    "(all targets, wall-clock fields stripped for "
+                    "byte-stable comparison) to PATH")
     be.add_argument("--base-seed", type=int, default=0,
                     help="base seed folded into every per-point seed")
     be.add_argument("--timeout", type=float, default=None,

@@ -68,6 +68,10 @@ class CoherentMemorySystem:
         #: reference counts' that competitive placement (section 8)
         #: depends on.  PLATINUM itself leaves this off.
         self.reference_counting = False
+        #: optional repro.profile.AccessProbe recording per-(Cpage,
+        #: processor) word counts for cost attribution; one attribute
+        #: load + branch on the access hot path when None
+        self.access_probe = None
 
     # -- protocol hooks -----------------------------------------------------------
 

@@ -78,25 +78,30 @@ class DefrostDaemon:
         self.runs += 1
         thawed = 0
         now = self.machine.engine.now
+        run_eid = self.tracer.reserve()
         for cpage in self.policy.frozen_pages:
             if cpage.thaw_exempt:
                 continue
-            self.thaw_page(cpage, now)
+            self.thaw_page(cpage, now, cause=run_eid)
             thawed += 1
         self.pages_thawed += thawed
         if self.metrics.enabled:
             self._m_runs.inc()
         self.tracer.record(
-            now, EventKind.DEFROST_RUN, None, None, thawed=thawed
+            now, EventKind.DEFROST_RUN, None, None, eid=run_eid,
+            thawed=thawed
         )
         for hook in self.post_action_hooks:
             hook()
         return thawed
 
-    def thaw_page(self, cpage: Cpage, now: int) -> None:
+    def thaw_page(
+        self, cpage: Cpage, now: int, cause: Optional[int] = None
+    ) -> None:
         """Invalidate every mapping to a frozen page and un-freeze it."""
         saved = cpage.last_invalidation
         initiator = cpage.home_module
+        eid = self.tracer.reserve()
         self.shootdown.shoot_cpage(
             cpage,
             Directive.INVALIDATE,
@@ -104,6 +109,7 @@ class DefrostDaemon:
             now,
             modules=None,
             rights=Rights.NONE,
+            cause=eid,
         )
         # daemon time is asynchronous kernel work on the initiating node
         self.machine.interrupts.charge(
@@ -118,7 +124,9 @@ class DefrostDaemon:
         if self.metrics.enabled:
             self._m_thaws.labels("defrost").inc()
         self.tracer.record(
-            now, EventKind.THAW, cpage.index, initiator, via="defrost"
+            now, EventKind.THAW, cpage.index, initiator, eid=eid,
+            cause=cause, via="defrost",
+            cost=int(round(self.machine.params.shootdown_per_cpu)),
         )
         for hook in self.post_action_hooks:
             hook()

@@ -129,28 +129,31 @@ class CoherentFaultHandler:
         # replication of the same page is the source memory bus, the
         # "serialization in hardware" section 5.1 observes on pivot pages.
         p = self.machine.params
+        eid = self.tracer.reserve()
         wait = max(0, cpage.handler_busy_until - now)
         t = now + wait
         cpage.stats.handler_wait_ns += wait
         start = t
         cpage.handler_busy_until = int(round(t + p.t_cpage_lock))
 
-        t += (
+        fixed = (
             p.fault_fixed_local
             if cpage.home_module == proc
             else p.fault_fixed_remote
         )
+        t += fixed
 
         local = self.machine.ipt_of(proc).find_local_copy(cpage.index)
         state_before = cpage.state
         frozen_before = cpage.frozen
+        last_inval_before = cpage.last_invalidation
         if write:
             t, action = self._handle_write(
-                proc, cmap, entry, cpage, local, t, now
+                proc, cmap, entry, cpage, local, t, now, cause=eid
             )
         else:
             t, action = self._handle_read(
-                proc, cmap, entry, cpage, local, t, now
+                proc, cmap, entry, cpage, local, t, now, cause=eid
             )
 
         t = int(round(t))
@@ -165,17 +168,20 @@ class CoherentFaultHandler:
                 self._m_thaws.labels("fault").inc()
         if self.tracer.enabled:
             self.tracer.record(
-                now, EventKind.FAULT, cpage.index, proc,
+                now, EventKind.FAULT, cpage.index, proc, eid=eid,
                 write=write, action=action,
+                dur=t - now, wait=wait, fixed=int(round(fixed)),
+                last_inval=last_inval_before,
                 **{"from": state_before.value, "to": cpage.state.value},
             )
             if cpage.frozen and not frozen_before:
                 self.tracer.record(
-                    now, EventKind.FREEZE, cpage.index, proc
+                    now, EventKind.FREEZE, cpage.index, proc, cause=eid,
+                    last_inval=last_inval_before,
                 )
             elif frozen_before and not cpage.frozen:
                 self.tracer.record(
-                    now, EventKind.THAW, cpage.index, proc,
+                    now, EventKind.THAW, cpage.index, proc, cause=eid,
                     via="fault"
                 )
         for hook in self.post_action_hooks:
@@ -193,6 +199,7 @@ class CoherentFaultHandler:
         local: Frame | None,
         t: float,
         now: int,
+        cause: int | None = None,
     ) -> tuple[float, str]:
         if local is not None:
             self._install(cmap, entry, proc, local, Rights.READ)
@@ -226,12 +233,12 @@ class CoherentFaultHandler:
                     # restrict the write mapping(s) to read-only first
                     res = self.shootdown.shoot_cpage(
                         cpage, Directive.RESTRICT, proc, int(t),
-                        rights=Rights.READ,
+                        rights=Rights.READ, cause=cause,
                     )
                     t += res.initiator_cost
                     cpage.has_write_mapping = False
                     cpage.recompute_state()
-                t = self._copy_page(cpage, new_frame, t)
+                t = self._copy_page(cpage, new_frame, t, cause=cause)
                 cpage.add_frame(new_frame)
                 cpage.recompute_state()
                 self._install(cmap, entry, proc, new_frame, Rights.READ)
@@ -258,6 +265,7 @@ class CoherentFaultHandler:
         local: Frame | None,
         t: float,
         now: int,
+        cause: int | None = None,
     ) -> tuple[float, str]:
         if cpage.state is CpageState.EMPTY:
             frame = self._allocate_filled(proc, cpage)
@@ -278,7 +286,7 @@ class CoherentFaultHandler:
             if was_replicated:
                 # invalidate translations to the other replicas, free them
                 others = set(cpage.frames) - {proc}
-                t = self._collapse(cpage, others, proc, t)
+                t = self._collapse(cpage, others, proc, t, cause=cause)
             # single copy is local: upgrade needs neither invalidation nor
             # reclamation (the reason present1 exists, section 3.2)
             cpage.has_write_mapping = True
@@ -292,9 +300,9 @@ class CoherentFaultHandler:
         if action is Action.CACHE:
             new_frame = self._try_allocate(proc, cpage)
             if new_frame is not None:
-                t = self._copy_page(cpage, new_frame, t)
+                t = self._copy_page(cpage, new_frame, t, cause=cause)
                 old_modules = set(cpage.frames)
-                t = self._collapse(cpage, old_modules, proc, t)
+                t = self._collapse(cpage, old_modules, proc, t, cause=cause)
                 cpage.add_frame(new_frame)
                 cpage.has_write_mapping = True
                 cpage.recompute_state()
@@ -306,7 +314,7 @@ class CoherentFaultHandler:
         if cpage.state is CpageState.PRESENT_PLUS:
             keep = cpage.any_frame()
             others = set(cpage.frames) - {keep.module_index}
-            t = self._collapse(cpage, others, proc, t)
+            t = self._collapse(cpage, others, proc, t, cause=cause)
         target = cpage.sole_frame()
         cpage.has_write_mapping = True
         cpage.recompute_state()
@@ -317,7 +325,8 @@ class CoherentFaultHandler:
     # -- helpers ----------------------------------------------------------------------
 
     def _collapse(
-        self, cpage: Cpage, modules: set[int], proc: int, t: float
+        self, cpage: Cpage, modules: set[int], proc: int, t: float,
+        cause: int | None = None,
     ) -> float:
         """Invalidate translations to (and free) the copies on ``modules``.
 
@@ -326,7 +335,8 @@ class CoherentFaultHandler:
         if not modules:
             return t
         res = self.shootdown.shoot_cpage(
-            cpage, Directive.INVALIDATE, proc, int(t), modules=modules
+            cpage, Directive.INVALIDATE, proc, int(t), modules=modules,
+            cause=cause,
         )
         t += res.initiator_cost
         for module in sorted(modules):
@@ -337,7 +347,8 @@ class CoherentFaultHandler:
         cpage.last_invalidation = int(t)
         return t
 
-    def _copy_page(self, cpage: Cpage, dst: Frame, t: float) -> float:
+    def _copy_page(self, cpage: Cpage, dst: Frame, t: float,
+                   cause: int | None = None) -> float:
         """Block-transfer the page into ``dst`` from the *least busy*
         existing copy.  Source diversification is what lets concurrent
         replication of a hot page (the Gauss pivot row) fan out in a tree
@@ -359,8 +370,9 @@ class CoherentFaultHandler:
                 src.module_index, dst.module_index
             ).inc()
         self.tracer.record(
-            int(t), EventKind.TRANSFER, cpage.index, None,
+            int(t), EventKind.TRANSFER, cpage.index, None, cause=cause,
             src=src.module_index, dst=dst.module_index,
+            dur=int(end) - int(t),
         )
         return end
 

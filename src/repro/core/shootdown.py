@@ -86,6 +86,7 @@ class ShootdownMechanism:
         now: int,
         modules: Optional[set[int]] = None,
         rights: Rights = Rights.READ,
+        cause: Optional[int] = None,
     ) -> ShootdownResult:
         """Apply a mapping change for ``cpage`` in every address space.
 
@@ -127,10 +128,12 @@ class ShootdownMechanism:
         else:
             cpage.stats.restrictions += 1
         self.tracer.record(
-            now, EventKind.SHOOTDOWN, cpage.index, initiator,
+            now, EventKind.SHOOTDOWN, cpage.index, initiator, cause=cause,
             directive=directive.value,
             interrupted=len(result.interrupted),
             deferred=len(result.deferred),
+            cost=int(round(result.initiator_cost)),
+            targets=result.interrupted,
         )
         for hook in self.post_action_hooks:
             hook()

@@ -46,13 +46,23 @@ class EventKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One timestamped protocol action."""
+    """One timestamped protocol action.
+
+    ``eid``/``cause`` carry the causal structure the profiler consumes:
+    an event reserved an id (:meth:`ProtocolTracer.reserve`) when other
+    events name it as their parent -- a fault is the cause of the
+    shootdowns and transfers its handler performed, a defrost run is the
+    cause of its thaws, a thaw is the cause of its invalidation
+    shootdown.  Both stay ``None`` for standalone events.
+    """
 
     time: int
     kind: EventKind
     cpage_index: Optional[int]
     processor: Optional[int]
     detail: dict[str, Any] = field(default_factory=dict)
+    eid: Optional[int] = None
+    cause: Optional[int] = None
 
     def describe(self) -> str:
         where = (
@@ -88,6 +98,7 @@ class ProtocolTracer:
         self.sinks: list = []
         #: when False, events go to sinks only -- nothing is retained
         self.retain = True
+        self._next_eid = 0
 
     def enable(self) -> None:
         self.enabled = True
@@ -111,6 +122,23 @@ class ProtocolTracer:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self._next_eid = 0
+
+    def reserve(self) -> Optional[int]:
+        """Allocate an event id before the event itself is recorded.
+
+        Needed because recording order is not causal order: a fault event
+        is recorded *after* the shootdowns and transfers its handler
+        performed, yet those children must name the fault as their
+        ``cause``.  Returns ``None`` when the tracer is disabled (ids are
+        only allocated on traced runs, keeping same-seed traces
+        byte-identical).
+        """
+        if not self.enabled:
+            return None
+        eid = self._next_eid
+        self._next_eid += 1
+        return eid
 
     # -- sinks ------------------------------------------------------------------
 
@@ -140,11 +168,14 @@ class ProtocolTracer:
         kind: EventKind,
         cpage_index: Optional[int] = None,
         processor: Optional[int] = None,
+        eid: Optional[int] = None,
+        cause: Optional[int] = None,
         **detail: Any,
     ) -> None:
         if not self.enabled:
             return
-        event = TraceEvent(time, kind, cpage_index, processor, detail)
+        event = TraceEvent(time, kind, cpage_index, processor, detail,
+                           eid=eid, cause=cause)
         for sink in self.sinks:
             sink.emit(event)
         if not self.retain:

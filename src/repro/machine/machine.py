@@ -68,6 +68,9 @@ class Machine:
         # numpy scalar indexing costs ~10x an int add on this hot path).
         self.local_words: list[int] = [0] * self.params.n_processors
         self.remote_words: list[int] = [0] * self.params.n_processors
+        # write subset of remote_words: reads and writes have different
+        # per-word latencies, so exact time attribution needs the split
+        self.remote_write_words: list[int] = [0] * self.params.n_processors
         self.queue_delay_ns: list[int] = [0] * self.params.n_processors
 
     def __repr__(self) -> str:
@@ -125,6 +128,8 @@ class Machine:
         # update here and one on the serving module, however many words
         if remote:
             self.remote_words[src_node] += n_words
+            if write:
+                self.remote_write_words[src_node] += n_words
         else:
             self.local_words[src_node] += n_words
         self.queue_delay_ns[src_node] += queue_delay

@@ -1,0 +1,44 @@
+"""Causal coherence profiler (paper section 4.2, the debugging story).
+
+The paper's programmers found a falsely-shared work-queue page by
+reading PLATINUM's per-page instrumentation, realized the freeze policy
+was bouncing it, and restructured the layout for a large speedup.  This
+package turns that workflow into a tool.  It consumes the
+:class:`~repro.core.trace.ProtocolTracer` event stream -- live from a
+run or loaded from an exported JSONL bundle -- and produces three linked
+views:
+
+* **cost attribution** (:mod:`repro.profile.attribution`): every
+  simulated nanosecond of every processor decomposed into disjoint
+  categories (local access, remote access, frozen-page remote access,
+  queueing, fault overheads, page copies, shootdowns, defrost work,
+  residual compute/idle), reconciled exactly against
+  ``n_processors * sim_time_ns``;
+* **critical-path analysis** (:mod:`repro.profile.critical_path`): the
+  longest chain of causally-dependent protocol operations, built from
+  the parent event ids the tracer threads through faults, shootdowns,
+  transfers and thaws;
+* **policy explainability** (:mod:`repro.profile.explain` and
+  :mod:`repro.profile.counterfactual`): a per-Cpage lifecycle timeline
+  annotated with the ``t1`` window comparisons that drove each decision,
+  plus a counterfactual scorer that prices the page's observed reference
+  string under the alternative policy (always-cache vs remote-map).
+
+Surfaced on the command line as ``repro explain``.
+"""
+
+from .attribution import (  # noqa: F401
+    CATEGORIES,
+    Attribution,
+    attribution_summary,
+    compute_attribution,
+)
+from .counterfactual import page_verdict  # noqa: F401
+from .critical_path import CriticalPath, compute_critical_path  # noqa: F401
+from .explain import ExplainReport, build_explain  # noqa: F401
+from .probe import AccessProbe  # noqa: F401
+from .source import (  # noqa: F401
+    PROFILE_SCHEMA,
+    ProfileError,
+    ProfileSource,
+)

@@ -1,0 +1,289 @@
+"""Exact cost attribution: where did every processor-nanosecond go?
+
+The accounting identity is *processor time*: a run of ``T`` simulated
+nanoseconds on ``P`` processors has a budget of exactly ``P * T`` ns,
+each processor owning the interval ``[0, T]``.  Attribution tiles each
+processor's interval with disjoint categories:
+
+``local_access``
+    words accessed in the local memory module, at ``t_local`` each.
+``remote_access``
+    words accessed across the interconnect (read/write latencies
+    differ), excluding frozen pages.
+``remote_access_frozen``
+    remote words to pages that sat frozen at access time -- the base
+    the freeze penalty is derived from.
+``queue_delay``
+    time lost queueing on memory buses and switch ports.
+``fault_wait`` / ``fault_fixed`` / ``fault_other``
+    per-Cpage handler-lock waits, the fixed allocate-and-map overhead
+    (0.23/0.27 ms), and the per-fault residual (page frees, shootdown
+    rounding) after subtracting the fault's child operations.
+``page_copy``
+    block transfers performed by the processor's fault handler.
+``shootdown`` / ``shootdown_ipi``
+    initiator-side synchronization cost, and the per-target interrupt
+    cost charged to each interrupted processor.
+``defrost``
+    daemon thaw work charged to the page's home node.
+``compute_idle``
+    the derived remainder of the processor's interval: user compute,
+    genuine idleness, and costs the model does not trace (e.g. ATC
+    misses).  Deriving it makes the decomposition sum *exactly* to
+    ``P * T`` by construction; the meaningful check is that no
+    processor's explicit categories overflow its interval
+    (``overflow_ns == 0``).
+
+Access categories need the per-(page, processor) word counters of an
+:class:`~repro.profile.probe.AccessProbe`; without them (a bare trace)
+the attribution degrades to protocol costs only and ``complete`` is
+False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .source import ProfileSource
+
+#: attribution categories, in report order
+CATEGORIES = (
+    "local_access",
+    "remote_access",
+    "remote_access_frozen",
+    "queue_delay",
+    "fault_wait",
+    "fault_fixed",
+    "fault_other",
+    "page_copy",
+    "shootdown",
+    "shootdown_ipi",
+    "defrost",
+    "compute_idle",
+)
+
+
+@dataclass
+class Attribution:
+    """The full three-way decomposition of one run's processor time."""
+
+    sim_time_ns: int
+    n_processors: int
+    #: n_processors * sim_time_ns
+    budget_ns: int
+    per_category: dict[str, int]
+    per_processor: dict[int, dict[str, int]]
+    #: cpage -> {category: ns, "total": ns} (explicit categories only)
+    per_page: dict[int, dict[str, int]]
+    #: cpage -> derived freeze penalty (frozen remote time minus the
+    #: hypothetical local time for the same words)
+    freeze_penalty_ns: dict[int, int]
+    page_labels: dict[int, str] = field(default_factory=dict)
+    #: negative per-fault residuals clamped to zero (rounding slack)
+    drift_ns: int = 0
+    #: explicit categories exceeding a processor's interval (should be 0)
+    overflow_ns: int = 0
+    complete: bool = True
+
+    @property
+    def reconciled(self) -> bool:
+        """Do the categories tile the budget exactly?"""
+        return (
+            self.complete
+            and sum(self.per_category.values()) == self.budget_ns
+            and self.overflow_ns == 0
+        )
+
+    def top_pages(self, k: int) -> list[tuple[int, dict[str, int]]]:
+        """The k most expensive pages by total attributed cost."""
+        ranked = sorted(
+            self.per_page.items(), key=lambda kv: (-kv[1]["total"], kv[0])
+        )
+        return ranked[:k]
+
+    def label(self, cpage: int) -> str:
+        return self.page_labels.get(cpage, f"cpage{cpage}")
+
+    def to_dict(self) -> dict:
+        return {
+            "sim_time_ns": self.sim_time_ns,
+            "n_processors": self.n_processors,
+            "budget_ns": self.budget_ns,
+            "reconciled": self.reconciled,
+            "complete": self.complete,
+            "drift_ns": self.drift_ns,
+            "overflow_ns": self.overflow_ns,
+            "per_category": dict(self.per_category),
+            "per_processor": {
+                str(p): dict(cats)
+                for p, cats in sorted(self.per_processor.items())
+            },
+            "per_page": {
+                str(c): dict(cats)
+                for c, cats in sorted(self.per_page.items())
+            },
+            "freeze_penalty_ns": {
+                str(c): v
+                for c, v in sorted(self.freeze_penalty_ns.items())
+            },
+            "page_labels": {
+                str(c): v for c, v in sorted(self.page_labels.items())
+            },
+        }
+
+
+def compute_attribution(source: ProfileSource) -> Attribution:
+    """Decompose the run's processor time (see module docstring)."""
+    T = source.sim_time_ns
+    P = source.n_processors
+    params = source.params
+    per_proc: dict[int, dict[str, int]] = {
+        p: {cat: 0 for cat in CATEGORIES} for p in range(P)
+    }
+    per_page: dict[int, dict[str, int]] = {}
+    freeze_penalty: dict[int, int] = {}
+    drift = 0
+
+    def add(cat: str, ns: int, proc, page) -> None:
+        if ns == 0:
+            return
+        if proc is not None and 0 <= proc < P:
+            per_proc[proc][cat] += ns
+        if page is not None:
+            cats = per_page.get(page)
+            if cats is None:
+                cats = per_page[page] = {"total": 0}
+            cats[cat] = cats.get(cat, 0) + ns
+            cats["total"] += ns
+
+    # -- protocol costs from the event stream ------------------------------
+    by_eid = {e["eid"]: e for e in source.events if "eid" in e}
+    children: dict[int, list[dict]] = {}
+    for e in source.events:
+        cause = e.get("cause")
+        if cause is not None:
+            children.setdefault(cause, []).append(e)
+    ipi_cost = int(round(params.get("ipi_target_cost", 0)))
+    for e in source.events:
+        kind = e["kind"]
+        d = e["detail"]
+        page = e["cpage"]
+        proc = e["proc"]
+        if kind == "fault":
+            dur = d.get("dur", 0)
+            wait = d.get("wait", 0)
+            fixed = d.get("fixed", 0)
+            child_ns = 0
+            for c in children.get(e.get("eid"), ()):
+                if c["kind"] == "transfer":
+                    child_ns += c["detail"].get("dur", 0)
+                elif c["kind"] == "shootdown":
+                    child_ns += c["detail"].get("cost", 0)
+            other = dur - wait - fixed - child_ns
+            if other < 0:  # float-rounding slack between child sums
+                drift += -other
+                other = 0
+            add("fault_wait", wait, proc, page)
+            add("fault_fixed", fixed, proc, page)
+            add("fault_other", other, proc, page)
+        elif kind == "transfer":
+            parent = by_eid.get(e.get("cause"))
+            owner = parent["proc"] if parent is not None else None
+            add("page_copy", d.get("dur", 0), owner, page)
+        elif kind == "shootdown":
+            parent = by_eid.get(e.get("cause"))
+            if parent is not None and parent["kind"] == "fault":
+                # initiator cost is inside the fault handler's time;
+                # thaw-caused shootdowns are charged via the thaw event
+                add("shootdown", d.get("cost", 0), proc, page)
+            for target in d.get("targets", ()):
+                add("shootdown_ipi", ipi_cost, target, page)
+        elif kind == "thaw" and d.get("via") == "defrost":
+            add("defrost", d.get("cost", 0), proc, page)
+
+    # -- access time from the probe counters -------------------------------
+    if source.access:
+        t_local = params["t_local"]
+        t_rr = params["t_remote_read"]
+        t_rw = params["t_remote_write"]
+        for row in source.access:
+            proc = row["proc"]
+            page = row["cpage"]
+            add("local_access",
+                int(round((row["local_read"] + row["local_write"])
+                          * t_local)), proc, page)
+            add("remote_access",
+                int(round(row["remote_read"] * t_rr
+                          + row["remote_write"] * t_rw)), proc, page)
+            frozen_words = row["frozen_read"] + row["frozen_write"]
+            if frozen_words:
+                frozen_ns = int(round(row["frozen_read"] * t_rr
+                                      + row["frozen_write"] * t_rw))
+                add("remote_access_frozen", frozen_ns, proc, page)
+                penalty = frozen_ns - int(round(frozen_words * t_local))
+                freeze_penalty[page] = (
+                    freeze_penalty.get(page, 0) + penalty
+                )
+            add("queue_delay", row["queue_ns"], proc, page)
+
+    # -- derived residual: tile each processor's interval exactly ----------
+    overflow = 0
+    for p in range(P):
+        cats = per_proc[p]
+        used = sum(v for c, v in cats.items() if c != "compute_idle")
+        residual = T - used
+        if residual < 0:
+            overflow += -residual
+            residual = 0
+        cats["compute_idle"] = residual
+
+    per_category = {cat: 0 for cat in CATEGORIES}
+    for cats in per_proc.values():
+        for cat, ns in cats.items():
+            per_category[cat] += ns
+    # proc-less costs (transfers whose parent fault is unknown -- bare
+    # traces from before causal ids) appear in page tables only; with a
+    # complete bundle every cost has an owner and the tiling is exact
+    budget = P * T
+    if not source.complete:
+        per_category["compute_idle"] = 0
+        for cats in per_proc.values():
+            cats["compute_idle"] = 0
+
+    return Attribution(
+        sim_time_ns=T,
+        n_processors=P,
+        budget_ns=budget,
+        per_category=per_category,
+        per_processor=per_proc,
+        per_page=per_page,
+        freeze_penalty_ns=freeze_penalty,
+        page_labels=dict(source.page_labels),
+        drift_ns=drift,
+        overflow_ns=overflow,
+        complete=source.complete,
+    )
+
+
+def attribution_summary(source: ProfileSource, top: int = 5) -> dict:
+    """A compact attribution block for embedding in BENCH points."""
+    attribution = compute_attribution(source)
+    return {
+        "sim_time_ns": attribution.sim_time_ns,
+        "budget_ns": attribution.budget_ns,
+        "reconciled": attribution.reconciled,
+        "per_category": {
+            cat: ns
+            for cat, ns in attribution.per_category.items() if ns
+        },
+        "top_pages": [
+            {
+                "cpage": cpage,
+                "label": attribution.label(cpage),
+                "total_ns": cats["total"],
+                "freeze_penalty_ns":
+                    attribution.freeze_penalty_ns.get(cpage, 0),
+            }
+            for cpage, cats in attribution.top_pages(top)
+        ],
+    }

@@ -1,0 +1,143 @@
+"""Counterfactual policy scoring: did the policy choose right?
+
+For one page, take the *observed* reference string -- how many words
+each processor moved, how many policy-decided misses occurred -- and
+price it under the two pure alternatives of the paper's section 4 cost
+model (:class:`~repro.analysis.costmodel.MigrationCostModel`):
+
+* **cache** (replicate/migrate on every miss): every miss pays a page
+  copy plus the fixed fault overhead, and the page's cross-processor
+  words then cost local time;
+* **remote_map**: each sharer pays one mapping fault, and the
+  cross-processor words stay remote at the measured read/write
+  latencies.
+
+Whichever is cheaper is the recommendation; within 5% the verdict is
+``indifferent``.  For the section 4.2 anecdote page (write-shared by
+every worker) caching keeps being invalidated, so the scorer flags it
+with ``recommended == "remote_map"`` -- the same conclusion the paper's
+programmers reached by reading the per-page instrumentation.
+
+This is deliberately a *model* of the alternative, not a re-simulation:
+the reference string is taken as fixed, which is exactly the
+approximation the paper's own cost model (section 4.1) makes.
+"""
+
+from __future__ import annotations
+
+from ..analysis.costmodel import MigrationCostModel
+from .source import ProfileSource
+
+#: fault actions that represent a policy-decided miss on a shared page
+MISS_ACTIONS = ("replicate", "migrate", "remote_map", "collapse")
+
+#: relative margin under which the two alternatives are a wash
+INDIFFERENCE_MARGIN = 0.05
+
+
+def page_verdict(source: ProfileSource, cpage: int) -> dict:
+    """Score the observed reference string of one page (see module doc)."""
+    params = source.params
+    actions: dict[str, int] = {}
+    for e in source.events:
+        if e["kind"] == "fault" and e["cpage"] == cpage:
+            action = e["detail"].get("action", "?")
+            actions[action] = actions.get(action, 0) + 1
+    words: dict[int, tuple[int, int]] = {}  # proc -> (reads, writes)
+    for row in source.access:
+        if row["cpage"] != cpage:
+            continue
+        reads = (row["local_read"] + row["remote_read"]
+                 + row["frozen_read"])
+        writes = (row["local_write"] + row["remote_write"]
+                  + row["frozen_write"])
+        words[row["proc"]] = (reads, writes)
+
+    total_words = sum(r + w for r, w in words.values())
+    misses = sum(actions.get(a, 0) for a in MISS_ACTIONS)
+    verdict = {
+        "cpage": cpage,
+        "label": source.page_labels.get(cpage, f"cpage{cpage}"),
+        "actions": dict(sorted(actions.items())),
+        "misses": misses,
+        "sharers": len(words),
+        "words": total_words,
+    }
+    if total_words == 0 and misses == 0:
+        # zero-length reference string: nothing to decide
+        verdict.update(recommended="indifferent", policy_chose="none",
+                       policy_agrees=True, cost_if_cache_ns=0,
+                       cost_if_remote_ns=0,
+                       note="page was never referenced")
+        return verdict
+    if not source.complete or not params:
+        verdict.update(recommended="unknown", policy_chose="unknown",
+                       policy_agrees=True, cost_if_cache_ns=0,
+                       cost_if_remote_ns=0,
+                       note="no access counters in this trace")
+        return verdict
+
+    # the natural home is the heaviest user; everyone else's words are
+    # the cross-processor traffic the policy choice prices
+    home = min(words, key=lambda p: (-(words[p][0] + words[p][1]), p)) \
+        if words else None
+    shared_reads = sum(r for p, (r, w) in words.items() if p != home)
+    shared_writes = sum(w for p, (r, w) in words.items() if p != home)
+    sharers = [p for p in words if p != home]
+
+    # F as the paper uses it: worst-case migration overhead -- remote
+    # kernel data plus a shootdown plus freeing the old copy
+    model = MigrationCostModel(
+        t_local=params["t_local"],
+        t_remote=params["t_remote_read"],
+        t_block=params["t_block_word"],
+        fixed_overhead=(params["fault_fixed_remote"]
+                        + params["shootdown_first"]
+                        + params["page_free"]),
+    )
+    s = params["words_per_page"]
+    shared = shared_reads + shared_writes
+    cost_cache = int(round(
+        misses * model.migrate_cost(s) + shared * params["t_local"]
+    ))
+    cost_remote = int(round(
+        len(sharers) * params["fault_fixed_remote"]
+        + shared_reads * params["t_remote_read"]
+        + shared_writes * params["t_remote_write"]
+    ))
+    if shared == 0 and misses == 0:
+        recommended = "indifferent"
+        note = "single-processor page; placement does not matter"
+    elif abs(cost_cache - cost_remote) <= (
+        INDIFFERENCE_MARGIN * max(cost_cache, cost_remote)
+    ):
+        recommended = "indifferent"
+        note = "alternatives within 5%"
+    elif cost_cache < cost_remote:
+        recommended = "cache"
+        note = "copies amortize: replication/migration pays here"
+    else:
+        recommended = "remote_map"
+        note = ("caching keeps getting invalidated: remote references "
+                "are cheaper than repeated copies")
+
+    cached = (actions.get("replicate", 0) + actions.get("migrate", 0))
+    remote_mapped = actions.get("remote_map", 0)
+    if cached == 0 and remote_mapped == 0:
+        policy_chose = "none"
+    elif cached >= remote_mapped:
+        policy_chose = "cache"
+    else:
+        policy_chose = "remote_map"
+    verdict.update(
+        recommended=recommended,
+        policy_chose=policy_chose,
+        policy_agrees=(
+            recommended in ("indifferent", policy_chose)
+            or policy_chose == "none"
+        ),
+        cost_if_cache_ns=cost_cache,
+        cost_if_remote_ns=cost_remote,
+        note=note,
+    )
+    return verdict

@@ -1,0 +1,252 @@
+"""Critical-path analysis over the protocol happens-before graph.
+
+"What limited speedup at 12 processors" becomes a query: find the
+longest chain of causally-dependent protocol operations, weighted by
+each operation's cost, and attribute every segment.
+
+Nodes are traced protocol events; their weights are the durations the
+tracer records (fault ``dur``, transfer ``dur``, shootdown/thaw
+``cost``).  Edges encode happens-before:
+
+* **cause edges** -- the parent ids threaded through the tracer: a
+  fault to the shootdowns/transfers its handler performed, a defrost
+  run to its thaws, a thaw to its invalidation shootdown;
+* **page serialization** -- consecutive protocol events on the same
+  Cpage (the per-Cpage handler lock and the directory itself serialize
+  them; an invalidation must precede the re-fault it provokes);
+* **processor order** -- consecutive faults taken by the same
+  processor (a thread cannot take its next fault before the previous
+  one completed).
+
+All edges point forward in time, so a longest-path DP over the
+time-ordered events is exact.  The result is the heaviest dependency
+chain; ``path_ns / sim_time_ns`` says how much of the run it covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .source import ProfileSource
+
+
+def _weights(events: list[dict]) -> list[int]:
+    """Per-event path weights.
+
+    A fault's ``dur`` *includes* the transfers and shootdowns its
+    handler performed; those appear as their own nodes linked by cause
+    edges, so the fault's weight is its duration minus its children --
+    a chain through fault and child counts each nanosecond once.
+    """
+    kind_of_eid = {
+        e["eid"]: e["kind"] for e in events if "eid" in e
+    }
+    child_ns: dict[int, int] = {}
+    for e in events:
+        cause = e.get("cause")
+        if cause is None:
+            continue
+        if e["kind"] == "transfer":
+            child_ns[cause] = (
+                child_ns.get(cause, 0) + e["detail"].get("dur", 0)
+            )
+        elif e["kind"] == "shootdown":
+            child_ns[cause] = (
+                child_ns.get(cause, 0) + e["detail"].get("cost", 0)
+            )
+    weights = []
+    for e in events:
+        kind = e["kind"]
+        detail = e["detail"]
+        if kind == "fault":
+            w = detail.get("dur", 0)
+            if "eid" in e:
+                w -= child_ns.get(e["eid"], 0)
+            weights.append(max(0, w))
+        elif kind == "transfer":
+            weights.append(detail.get("dur", 0))
+        elif kind == "shootdown":
+            # a thaw's invalidation shootdown costs the daemon nothing
+            # the thaw event does not already cover
+            if kind_of_eid.get(e.get("cause")) == "thaw":
+                weights.append(0)
+            else:
+                weights.append(detail.get("cost", 0))
+        elif kind == "thaw":
+            weights.append(detail.get("cost", 0))
+        else:
+            weights.append(0)
+    return weights
+
+
+@dataclass
+class Segment:
+    """One event on the critical path."""
+
+    time: int
+    kind: str
+    cpage: int | None
+    proc: int | None
+    weight_ns: int
+    detail: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "cpage": self.cpage,
+            "proc": self.proc,
+            "weight_ns": self.weight_ns,
+            "action": self.detail.get("action"),
+        }
+
+
+@dataclass
+class CriticalPath:
+    """The heaviest happens-before chain of one run."""
+
+    path_ns: int
+    sim_time_ns: int
+    segments: list[Segment] = field(default_factory=list)
+    n_events: int = 0
+    n_edges: int = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.path_ns / self.sim_time_ns if self.sim_time_ns else 0.0
+
+    def by_kind(self) -> dict[str, int]:
+        """Per-segment-kind attribution of the path's weight."""
+        out: dict[str, int] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0) + seg.weight_ns
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "path_ns": self.path_ns,
+            "sim_time_ns": self.sim_time_ns,
+            "fraction": round(self.fraction, 6),
+            "n_events": self.n_events,
+            "n_edges": self.n_edges,
+            "by_kind": self.by_kind(),
+            "segments": [seg.to_dict() for seg in self.segments],
+        }
+
+
+def compute_critical_path(source: ProfileSource,
+                          max_segments: int = 50) -> CriticalPath:
+    """Longest dependency chain over the traced protocol events."""
+    events = source.events  # already time-ordered
+    n = len(events)
+    edges: list[list[int]] = [[] for _ in range(n)]
+    n_edges = 0
+
+    def link(src: int, dst: int) -> None:
+        nonlocal n_edges
+        if src != dst:
+            edges[src].append(dst)
+            n_edges += 1
+
+    eid_index = {
+        e["eid"]: i for i, e in enumerate(events) if "eid" in e
+    }
+    last_on_page: dict[int, int] = {}
+    last_fault_of: dict[int, int] = {}
+    for i, e in enumerate(events):
+        cause = e.get("cause")
+        if cause is not None and cause in eid_index:
+            # cause edges go parent -> child; a fault's children are
+            # recorded before it but never earlier in time, so flip to
+            # keep every edge forward in the time order
+            parent = eid_index[cause]
+            if parent <= i:
+                link(parent, i)
+            else:
+                link(i, parent)
+        page = e["cpage"]
+        if page is not None:
+            prev = last_on_page.get(page)
+            if prev is not None:
+                link(prev, i)
+            last_on_page[page] = i
+        if e["kind"] == "fault" and e["proc"] is not None:
+            prev = last_fault_of.get(e["proc"])
+            if prev is not None:
+                link(prev, i)
+            last_fault_of[e["proc"]] = i
+
+    # longest path DP in index order; edges all point to higher indices
+    # except flipped cause edges, so process in a topological order:
+    # sort indices so every edge source precedes its destinations
+    best = [0] * n
+    prev_hop = [-1] * n
+    order = _topo_order(edges, n)
+    weights = _weights(events)
+    for i in order:
+        w = best[i] + weights[i]
+        for j in edges[i]:
+            if w > best[j]:
+                best[j] = w
+                prev_hop[j] = i
+
+    if n == 0:
+        return CriticalPath(path_ns=0, sim_time_ns=source.sim_time_ns)
+    end = max(range(n), key=lambda i: (best[i] + weights[i], -i))
+    path_ns = best[end] + weights[end]
+    chain: list[int] = []
+    i = end
+    while i != -1:
+        chain.append(i)
+        i = prev_hop[i]
+    chain.reverse()
+    segments = [
+        Segment(
+            time=events[i]["time"],
+            kind=events[i]["kind"],
+            cpage=events[i]["cpage"],
+            proc=events[i]["proc"],
+            weight_ns=weights[i],
+            detail=events[i]["detail"],
+        )
+        for i in chain
+        if weights[i] > 0
+    ]
+    if len(segments) > max_segments:
+        # keep the heaviest, preserving time order
+        keep = set(
+            sorted(range(len(segments)),
+                   key=lambda k: -segments[k].weight_ns)[:max_segments]
+        )
+        segments = [s for k, s in enumerate(segments) if k in keep]
+    return CriticalPath(
+        path_ns=path_ns,
+        sim_time_ns=source.sim_time_ns,
+        segments=segments,
+        n_events=n,
+        n_edges=n_edges,
+    )
+
+
+def _topo_order(edges: list[list[int]], n: int) -> list[int]:
+    """Topological order (events are time-sorted, so the graph is a DAG;
+    the few flipped cause edges stay within one timestamp)."""
+    indeg = [0] * n
+    for srcs in edges:
+        for dst in srcs:
+            indeg[dst] += 1
+    from collections import deque
+
+    queue = deque(i for i in range(n) if indeg[i] == 0)
+    order: list[int] = []
+    while queue:
+        i = queue.popleft()
+        order.append(i)
+        for j in edges[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                queue.append(j)
+    if len(order) != n:  # a cycle would mean corrupted causal ids;
+        # fall back to plain time order rather than failing the report
+        return list(range(n))
+    return order

@@ -144,6 +144,13 @@ class ThreadProcess(Process):
                     self.kernel.coherent.note_remote_access(
                         result.entry.cpage_index, proc, n
                     )
+                probe = self.kernel.coherent.access_probe
+                if probe is not None and (
+                    result.entry.cpage_index is not None
+                ):
+                    probe.note(
+                        result.entry.cpage_index, proc, write, outcome
+                    )
                 data = result.entry.frame.data[offset: offset + n]
                 return outcome.completion, data
             fault = self.kernel.fault(proc, aspace_id, vpage, write, t)

@@ -12,6 +12,15 @@ from repro.analysis import (
     run_counters,
 )
 from repro.analysis.costmodel import COUNTER_FIELDS
+from repro.profile import (
+    AccessProbe,
+    ProfileSource,
+    compute_attribution,
+    page_verdict,
+)
+from repro.profile.source import PARAM_FIELDS
+from repro.runtime import make_kernel, run_program
+from repro.workloads import PhaseChangeSharing
 
 
 # -- SpeedupCurve -------------------------------------------------------------
@@ -196,3 +205,110 @@ def test_aggregate_counters_skips_failed_points_and_sums():
     assert total["sim_time_ns"] == 150
     # recomputed from summed words, not averaged
     assert total["remote_fraction"] == pytest.approx(10 / 40)
+
+
+# -- cost-model edge cases the profiler leans on ------------------------------
+
+
+def _machine_params() -> dict:
+    p = make_kernel(n_processors=2).params
+    params = {name: getattr(p, name) for name in PARAM_FIELDS}
+    params["words_per_page"] = p.words_per_page
+    return params
+
+
+def _synthetic_source(access, events=None, n_processors=2):
+    return ProfileSource(
+        events=events or [],
+        sim_time_ns=10_000_000,
+        n_processors=n_processors,
+        params=_machine_params(),
+        access=access,
+        complete=True,
+    )
+
+
+def _row(cpage, proc, **words):
+    row = {
+        "cpage": cpage, "proc": proc,
+        "local_read": 0, "local_write": 0,
+        "remote_read": 0, "remote_write": 0,
+        "frozen_read": 0, "frozen_write": 0,
+        "queue_ns": 0,
+    }
+    row.update(words)
+    return row
+
+
+def test_cost_model_zero_length_reference_string():
+    model = MigrationCostModel.paper_constants()
+    # s = 0: nothing to move -- the migration still pays its fixed
+    # overhead, and zero references cost nothing either way
+    assert model.migrate_cost(0) == model.fixed_overhead
+    assert model.remote_cost(0, rho=1.0) == 0.0
+    assert model.local_cost(0, rho=1.0) == 0.0
+    assert not model.migration_pays(0, rho=1.0, g=1.0)
+
+
+def test_verdict_zero_length_reference_string():
+    source = _synthetic_source(access=[])
+    verdict = page_verdict(source, 7)
+    assert verdict["recommended"] == "indifferent"
+    assert verdict["cost_if_cache_ns"] == 0
+    assert verdict["cost_if_remote_ns"] == 0
+    assert verdict["note"] == "page was never referenced"
+
+
+def test_verdict_pure_writer_page_prices_write_latency():
+    params = _machine_params()
+    events = [{
+        "time": 0, "kind": "fault", "cpage": 5, "proc": 1,
+        "detail": {"action": "migrate", "write": True,
+                   "dur": 300_000, "wait": 0, "fixed": 270_000},
+        "eid": 0,
+    }]
+    access = [
+        _row(5, 0, local_write=100),     # the home: writes only
+        _row(5, 1, remote_write=40),     # a pure-writer sharer
+    ]
+    source = _synthetic_source(access, events=events)
+    verdict = page_verdict(source, 5)
+    # the remote alternative prices the sharer's words at the *write*
+    # latency -- half the read latency on this machine
+    expected_remote = int(round(
+        params["fault_fixed_remote"] + 40 * params["t_remote_write"]
+    ))
+    assert verdict["cost_if_remote_ns"] == expected_remote
+    assert verdict["misses"] == 1
+    assert verdict["policy_chose"] == "cache"
+
+
+def test_verdict_single_processor_page_is_indifferent():
+    source = _synthetic_source(access=[_row(3, 0, local_write=50)])
+    verdict = page_verdict(source, 3)
+    assert verdict["recommended"] == "indifferent"
+    assert verdict["note"].startswith("single-processor")
+
+
+def test_degenerate_t1_equals_t2_window_still_reconciles():
+    # t1 == t2: a page becomes defrost-eligible the instant its freeze
+    # window closes; the policy and the profiler must both cope
+    kernel = make_kernel(
+        n_processors=4,
+        trace=True,
+        defrost_period=30e6,
+        t1_freeze_window=30e6,
+        t2_defrost_period=30e6,
+    )
+    probe = AccessProbe.install(kernel.coherent)
+    result = run_program(kernel, PhaseChangeSharing(n_threads=4))
+    source = ProfileSource.from_run(kernel, result, probe,
+                                    workload="degenerate")
+    assert source.params["t1_freeze_window"] == \
+        source.params["t2_defrost_period"]
+    a = compute_attribution(source)
+    assert a.reconciled
+    for cpage in [c for c, _ in a.top_pages(3)]:
+        assert page_verdict(source, cpage)["recommended"] in (
+            "cache", "remote_map", "indifferent"
+        )

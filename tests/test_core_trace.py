@@ -42,10 +42,18 @@ def test_transfer_and_shootdown_events():
     tracer = harness.kernel.tracer
     transfers = tracer.by_kind(EventKind.TRANSFER)
     assert len(transfers) == 1
-    assert transfers[0].detail == {"src": 0, "dst": 1}
+    assert transfers[0].detail["src"] == 0
+    assert transfers[0].detail["dst"] == 1
+    assert transfers[0].detail["dur"] >= 0
     shootdowns = tracer.by_kind(EventKind.SHOOTDOWN)
     assert len(shootdowns) == 1
     assert shootdowns[0].detail["directive"] == "invalidate"
+    assert shootdowns[0].detail["cost"] >= 0
+    # causality: both are children of the migrating write fault
+    fault = tracer.by_kind(EventKind.FAULT)[-1]
+    assert fault.eid is not None
+    assert transfers[0].cause == fault.eid
+    assert shootdowns[0].cause == fault.eid
 
 
 def test_freeze_and_thaw_events():

@@ -1,0 +1,324 @@
+"""Tests for the causal coherence profiler (repro.profile).
+
+The load-bearing properties:
+
+* attribution tiles every processor's interval exactly -- the category
+  sums reconcile against the engine's total simulated time, on every
+  benchmark target's run points;
+* the causal ids threaded through the tracer produce a critical path
+  whose segment weights sum to the path length (no double counting of
+  a fault and its child transfers/shootdowns);
+* the section 4.2 anecdote ranks the falsely-shared page first and the
+  counterfactual scorer recommends remote mapping for it;
+* a saved profile bundle reproduces the live analysis exactly, and a
+  bare ``--trace-out`` export degrades gracefully.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import TARGETS
+from repro.bench.targets import execute_point
+from repro.profile import (
+    CATEGORIES,
+    AccessProbe,
+    ProfileError,
+    ProfileSource,
+    attribution_summary,
+    build_explain,
+    compute_attribution,
+    compute_critical_path,
+    page_verdict,
+)
+from repro.runtime import make_kernel, run_program
+from repro.workloads import (
+    GaussianElimination,
+    PhaseChangeSharing,
+    RoundRobinSharing,
+)
+
+
+def profiled_run(program=None, machine=4, defrost_period=None,
+                 workload="test"):
+    """A traced + probed run, reduced to its ProfileSource."""
+    kernel = make_kernel(
+        n_processors=machine, trace=True, defrost_period=defrost_period
+    )
+    probe = AccessProbe.install(kernel.coherent)
+    if program is None:
+        program = RoundRobinSharing(n_threads=4, operations=16)
+    result = run_program(kernel, program)
+    return ProfileSource.from_run(kernel, result, probe,
+                                  workload=workload)
+
+
+def sec42_source(colocate=True):
+    """The section 4.2 anecdote configuration at smoke scale."""
+    return profiled_run(
+        program=GaussianElimination(
+            n=24, n_threads=4, verify_result=False,
+            colocate_lock_with_size=colocate,
+        ),
+        machine=4,
+        defrost_period=20e6,
+        workload="sec42",
+    )
+
+
+# -- attribution exactness ----------------------------------------------------
+
+
+def test_attribution_reconciles_exactly():
+    source = sec42_source()
+    a = compute_attribution(source)
+    assert a.complete
+    assert a.budget_ns == a.n_processors * a.sim_time_ns
+    assert a.overflow_ns == 0
+    assert sum(a.per_category.values()) == a.budget_ns
+    assert a.reconciled
+    # the per-processor decomposition tiles each interval exactly
+    for proc, cats in a.per_processor.items():
+        assert sum(cats.values()) == a.sim_time_ns, f"proc {proc}"
+    assert set(a.per_category) == set(CATEGORIES)
+
+
+def test_attribution_reconciles_on_every_bench_target():
+    """Every platinum run point of every benchmark target reconciles."""
+    checked_targets = 0
+    for name, target in TARGETS.items():
+        _config, points = target.points("smoke")
+        run_specs = [
+            spec for _pname, spec in points
+            if spec.get("kind") == "run"
+            and spec.get("system", "platinum") == "platinum"
+            and not spec.get("competitive")
+        ][:2]  # two per target keeps the suite fast
+        if not run_specs:
+            continue
+        checked_targets += 1
+        for spec in run_specs:
+            spec = dict(spec, profile=3)
+            metrics = execute_point(spec, seed=0)
+            prof = metrics["profile"]
+            assert prof["reconciled"], (name, spec)
+            assert (sum(prof["per_category"].values())
+                    == prof["budget_ns"]), name
+    assert checked_targets >= 6  # the run-kind targets all participate
+
+
+def test_attribution_has_protocol_categories():
+    a = compute_attribution(sec42_source())
+    assert a.per_category["fault_fixed"] > 0
+    assert a.per_category["page_copy"] > 0
+    assert a.per_category["shootdown"] > 0
+    assert a.per_category["local_access"] > 0
+    assert a.per_category["queue_delay"] > 0
+
+
+def test_attribution_top_pages_ranked_by_total():
+    a = compute_attribution(sec42_source())
+    tops = a.top_pages(5)
+    totals = [cats["total"] for _c, cats in tops]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_sec42_ranks_falsely_shared_page_first():
+    a = compute_attribution(sec42_source(colocate=True))
+    top_cpage, _cats = a.top_pages(1)[0]
+    assert a.label(top_cpage).startswith("misc")
+
+
+def test_attribution_summary_is_compact_and_consistent():
+    source = sec42_source()
+    summary = attribution_summary(source, top=3)
+    assert summary["reconciled"]
+    assert summary["budget_ns"] == sum(summary["per_category"].values())
+    assert len(summary["top_pages"]) == 3
+    assert all(v != 0 for v in summary["per_category"].values())
+    json.dumps(summary)  # must be a JSON-able embedding
+
+
+# -- bundle round trip --------------------------------------------------------
+
+
+def test_bundle_round_trip_is_exact(tmp_path):
+    source = sec42_source()
+    path = source.save(tmp_path / "bundle.jsonl")
+    loaded = ProfileSource.load(path)
+    assert loaded.events == source.events
+    assert loaded.sim_time_ns == source.sim_time_ns
+    assert loaded.n_processors == source.n_processors
+    assert loaded.params == source.params
+    assert loaded.access == source.access
+    assert loaded.page_labels == source.page_labels
+    assert loaded.complete
+    assert loaded.workload == "sec42"
+    live = build_explain(source, top=5, critical_path=True)
+    again = build_explain(loaded, top=5, critical_path=True)
+    assert live.to_json() == again.to_json()
+
+
+def test_bare_trace_loads_degraded(tmp_path):
+    source = sec42_source()
+    path = tmp_path / "bare.jsonl"
+    with open(path, "w") as stream:
+        for event in source.events:
+            stream.write(json.dumps(event) + "\n")
+    loaded = ProfileSource.load(path)
+    assert not loaded.complete
+    assert loaded.n_processors == 4
+    a = compute_attribution(loaded)
+    assert not a.reconciled
+    assert a.per_category["compute_idle"] == 0
+    assert a.per_category["fault_fixed"] > 0
+    # the counterfactual degrades to "unknown" without access counters
+    top_cpage, _ = a.top_pages(1)[0]
+    assert page_verdict(loaded, top_cpage)["recommended"] == "unknown"
+
+
+def test_load_missing_file_raises_profile_error(tmp_path):
+    with pytest.raises(ProfileError, match="cannot read"):
+        ProfileSource.load(tmp_path / "nope.jsonl")
+
+
+def test_load_non_trace_jsonl_raises(tmp_path):
+    path = tmp_path / "other.jsonl"
+    path.write_text('{"not": "a trace"}\n')
+    with pytest.raises(ProfileError, match="missing"):
+        ProfileSource.load(path)
+
+
+def test_load_bad_schema_raises(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(
+        '{"record": "profile_meta", "schema": "repro-profile/99"}\n'
+    )
+    with pytest.raises(ProfileError, match="schema"):
+        ProfileSource.load(path)
+
+
+def test_load_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ProfileError, match="no protocol events"):
+        ProfileSource.load(path)
+
+
+# -- access probe -------------------------------------------------------------
+
+
+def test_probe_counts_words_per_page_and_processor():
+    source = profiled_run()
+    assert source.access, "probe recorded no rows"
+    total = sum(
+        row["local_read"] + row["local_write"]
+        + row["remote_read"] + row["remote_write"]
+        + row["frozen_read"] + row["frozen_write"]
+        for row in source.access
+    )
+    assert total > 0
+    keys = [(row["cpage"], row["proc"]) for row in source.access]
+    assert keys == sorted(keys)  # table() is deterministic
+
+
+def test_probe_sees_frozen_accesses():
+    source = profiled_run(
+        program=PhaseChangeSharing(n_threads=4),
+        defrost_period=30e6,
+    )
+    frozen = sum(row["frozen_read"] + row["frozen_write"]
+                 for row in source.access)
+    assert frozen > 0
+
+
+# -- critical path ------------------------------------------------------------
+
+
+def test_critical_path_weights_sum_to_path_length():
+    source = sec42_source()
+    cp = compute_critical_path(source, max_segments=10**6)
+    assert cp.path_ns > 0
+    assert cp.n_events == len(source.events)
+    assert sum(seg.weight_ns for seg in cp.segments) == cp.path_ns
+    times = [seg.time for seg in cp.segments]
+    assert times == sorted(times)
+    assert sum(cp.by_kind().values()) == cp.path_ns
+
+
+def test_critical_path_truncates_to_heaviest_segments():
+    source = sec42_source()
+    full = compute_critical_path(source, max_segments=10**6)
+    cut = compute_critical_path(source, max_segments=5)
+    assert len(cut.segments) == 5
+    assert cut.path_ns == full.path_ns  # truncation is display-only
+    kept = sorted(s.weight_ns for s in cut.segments)
+    lightest_kept = kept[0]
+    dropped = sorted(
+        (s.weight_ns for s in full.segments), reverse=True
+    )[5:]
+    assert all(w <= lightest_kept for w in dropped)
+
+
+def test_critical_path_is_deterministic():
+    a = compute_critical_path(sec42_source()).to_dict()
+    b = compute_critical_path(sec42_source()).to_dict()
+    assert a == b
+
+
+def test_critical_path_empty_source():
+    source = ProfileSource(
+        events=[], sim_time_ns=1000, n_processors=2, params={},
+        complete=False,
+    )
+    cp = compute_critical_path(source)
+    assert cp.path_ns == 0
+    assert cp.segments == []
+    assert cp.fraction == 0.0
+
+
+# -- counterfactual scoring ---------------------------------------------------
+
+
+def test_sec42_counterfactual_recommends_remote_map():
+    source = sec42_source(colocate=True)
+    a = compute_attribution(source)
+    top_cpage, _ = a.top_pages(1)[0]
+    verdict = page_verdict(source, top_cpage)
+    assert verdict["recommended"] == "remote_map"
+    assert verdict["cost_if_remote_ns"] < verdict["cost_if_cache_ns"]
+    assert verdict["misses"] > 0
+    assert verdict["sharers"] > 1
+
+
+def test_counterfactual_never_referenced_page_is_indifferent():
+    source = sec42_source()
+    verdict = page_verdict(source, 99999)
+    assert verdict["recommended"] == "indifferent"
+    assert verdict["misses"] == 0
+    assert verdict["words"] == 0
+    assert verdict["policy_agrees"]
+
+
+def test_explain_report_renders_text_and_json():
+    source = sec42_source()
+    report = build_explain(source, top=3, critical_path=True)
+    text = report.format_text()
+    assert "time by category" in text
+    assert "top 3 pages" in text
+    assert "critical path" in text
+    assert "lifecycle of cpage" in text
+    doc = json.loads(report.to_json())
+    assert doc["schema"] == "repro-explain/1"
+    assert doc["attribution"]["reconciled"]
+    assert len(doc["top_pages"]) == 3
+    assert doc["top_pages"][0]["verdict"]["recommended"] == "remote_map"
+
+
+def test_explain_report_includes_requested_page():
+    source = sec42_source()
+    a = compute_attribution(source)
+    cold = max(a.per_page) + 1  # a page outside the top ranks
+    report = build_explain(source, top=2, page=cold)
+    assert cold in [c for c, _ in report.top]
+    assert cold in report.timelines
