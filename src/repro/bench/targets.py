@@ -73,6 +73,41 @@ _POLICIES: dict[str, Callable] = {
 }
 
 
+def make_policy(name: Optional[str], args: Optional[dict] = None):
+    """Instantiate a replication policy by registry name (None -> kernel
+    default)."""
+    if name is None:
+        return None
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}")
+    return cls(**(args or {}))
+
+
+def make_program_for_spec(spec: dict):
+    """The workload program a ``run``-kind point spec describes."""
+    return _WORKLOADS[spec["workload"]](**dict(spec.get("args", {})))
+
+
+def build_kernel_for_spec(spec: dict, metrics=False, trace: bool = False):
+    """A plain PLATINUM kernel per a ``run``-kind point spec.
+
+    Covers the non-competitive platinum branch of :func:`_exec_run`; the
+    trace recorder uses the same function so a recording run is built
+    exactly as the bench run it stands in for.
+    """
+    return make_kernel(
+        n_processors=spec.get("machine", 16),
+        policy=make_policy(spec.get("policy"), spec.get("policy_args")),
+        defrost_enabled=spec.get("defrost", True),
+        defrost_period=spec.get("defrost_period"),
+        metrics=metrics,
+        trace=trace,
+        **dict(spec.get("params", {})),
+    )
+
+
 # -- point execution ----------------------------------------------------------
 
 
@@ -110,19 +145,8 @@ def _exec_run(spec: dict, seed: int) -> dict:
             if telemetry:
                 kernel.coherent.metrics.enabled = True
         else:
-            policy = None
-            if spec.get("policy"):
-                policy = _POLICIES[spec["policy"]](
-                    **spec.get("policy_args", {})
-                )
-            kernel = make_kernel(
-                n_processors=machine,
-                policy=policy,
-                defrost_enabled=spec.get("defrost", True),
-                defrost_period=spec.get("defrost_period"),
-                metrics=telemetry,
-                trace=profile > 0,
-                **params,
+            kernel = build_kernel_for_spec(
+                spec, metrics=telemetry, trace=profile > 0
             )
             if profile:
                 from ..profile import AccessProbe
@@ -151,6 +175,54 @@ def _exec_run(spec: dict, seed: int) -> dict:
             "frozen": sum(1 for r in rows if r.frozen),
             "was_frozen": sum(1 for r in rows if r.was_frozen),
         }
+    return metrics
+
+
+#: per-process memo of recorded trace bundles, keyed by the canonical
+#: JSON of the recording spec.  The sweep's worker pool is persistent, so
+#: each worker records a workload at most once and replays every variant
+#: point against the in-memory bundle -- no paths in specs, no files, and
+#: the metrics stay byte-deterministic for the snapshot drift check.
+_RECORD_MEMO: dict[str, object] = {}
+
+
+def _recorded_bundle(record_spec_dict: dict):
+    import json
+
+    from ..replay import record_spec
+
+    key = json.dumps(record_spec_dict, sort_keys=True)
+    bundle = _RECORD_MEMO.get(key)
+    if bundle is None:
+        bundle, _result = record_spec(record_spec_dict)
+        _RECORD_MEMO[key] = bundle
+    return bundle
+
+
+def _exec_replay(spec: dict, seed: int) -> dict:
+    """Record once (memoized per worker), then re-simulate the trace
+    under the point's policy/parameter variant."""
+    from ..replay import replay_trace
+
+    bundle = _recorded_bundle(spec["record"])
+    result = replay_trace(
+        bundle,
+        policy=spec.get("policy"),
+        policy_args=spec.get("policy_args"),
+        defrost=spec.get("defrost"),
+        defrost_period=spec.get("defrost_period"),
+        params=spec.get("params"),
+        check_expected=bool(spec.get("check_expected")),
+        mode=spec.get("mode", "exact"),
+    )
+    metrics = dict(result.counters)
+    metrics["sim_time_ms"] = result.sim_time_ms
+    metrics["events_executed"] = result.events_executed
+    metrics["trace_ops"] = bundle.n_ops
+    metrics["trace_threads"] = bundle.n_threads
+    if result.mode == "fast":
+        metrics["batched_ops"] = result.batched_ops
+        metrics["windows"] = result.windows
     return metrics
 
 
@@ -260,6 +332,7 @@ def _exec_echo(spec: dict, seed: int) -> dict:
 
 _KINDS: dict[str, Callable[[dict, int], dict]] = {
     "run": _exec_run,
+    "replay": _exec_replay,
     "sequent": _exec_sequent,
     "table1": _exec_table1,
     "transitions": _exec_transitions,
@@ -872,6 +945,91 @@ _register(BenchTarget(
     title="Ablation: remote access vs replication vs PLATINUM by density",
     points=_points_ablation_rpc,
     derive=_derive_ablation_rpc,
+))
+
+
+# ablation: trace-driven replay ------------------------------------------------
+
+
+def _points_ablation_replay(scale: str):
+    n = _scaled(scale, 16, 64, 96)
+    machine = _scaled(scale, 4, 16, 16)
+    threads = _scaled(scale, 2, 8, 8)
+    record = {
+        "kind": "run",
+        "workload": "gauss",
+        "machine": machine,
+        "args": {"n": n, "n_threads": threads, "verify_result": False},
+    }
+    config = {"workload": "gauss", "n": n, "machine": machine,
+              "n_threads": threads}
+    points = [
+        ("live", dict(record)),
+        # same configuration as the recording: the replayer itself
+        # asserts the A/B invariants (sim time, event count, every
+        # protocol counter) and fails the point on any divergence
+        ("replay:recorded",
+         {"kind": "replay", "record": record, "check_expected": True}),
+    ]
+    for policy in ("always", "never", "ace"):
+        points.append((
+            f"replay:{policy}",
+            {"kind": "replay", "record": record, "policy": policy},
+        ))
+    points.append((
+        "replay:freeze-t1=100ms",
+        {"kind": "replay", "record": record, "policy": "freeze",
+         "policy_args": {"t1": 100e6}},
+    ))
+    points.append((
+        "replay:slow-remote",
+        {"kind": "replay", "record": record,
+         "params": {"t_remote_read": 10000.0, "t_remote_write": 5000.0}},
+    ))
+    points.append((
+        # approximate array-at-a-time costing of the recorded config;
+        # derive() checks it conserves the reference string exactly
+        "replay:fast",
+        {"kind": "replay", "record": record, "mode": "fast"},
+    ))
+    return config, points
+
+
+def _derive_ablation_replay(ok: dict) -> dict:
+    live = ok.get("live")
+    recorded = ok.get("replay:recorded")
+    matches = None
+    if live and recorded:
+        keys = (
+            "sim_time_ns", "faults", "read_faults", "write_faults",
+            "replications", "migrations", "invalidations",
+            "remote_mappings", "freezes", "local_words", "remote_words",
+            "queue_delay_ms", "transfers", "shootdowns", "ipis",
+        )
+        matches = all(live.get(k) == recorded.get(k) for k in keys)
+    variants = {
+        name.split("replay:", 1)[1]: m["sim_time_ms"]
+        for name, m in ok.items()
+        if name.startswith("replay:")
+    }
+    derived = {"replay_matches_live": matches, "variant_ms": variants}
+    fast = ok.get("replay:fast")
+    if live and fast:
+        live_words = live["local_words"] + live["remote_words"]
+        fast_words = fast["local_words"] + fast["remote_words"]
+        derived["fast_words_conserved"] = live_words == fast_words
+        derived["fast_sim_dev_pct"] = round(
+            100.0 * abs(fast["sim_time_ns"] - live["sim_time_ns"])
+            / live["sim_time_ns"], 2)
+        derived["fast_batched_ops"] = fast["batched_ops"]
+    return derived
+
+
+_register(BenchTarget(
+    name="ablation_replay",
+    title="Ablation: policy/machine variants re-simulated from one trace",
+    points=_points_ablation_replay,
+    derive=_derive_ablation_replay,
 ))
 
 

@@ -332,6 +332,125 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _version() -> str:
+    """The installed distribution version, falling back to the package
+    constant when running from a source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - metadata absent outside installs
+        from . import __version__
+
+        return __version__
+
+
+def _record_spec_args(args: argparse.Namespace) -> dict:
+    """Workload constructor args for a record spec (mirrors
+    ``_make_program``, but as a picklable spec dict)."""
+    name = args.workload
+    if name == "neural":
+        return {"epochs": args.epochs, "n_threads": args.p}
+    spec_args = {"n": args.n, "n_threads": args.p,
+                 "verify_result": args.verify}
+    if name == "jacobi":
+        spec_args["iterations"] = args.epochs
+    return spec_args
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    import json
+
+    from .replay import TraceError, record_spec, save_trace
+
+    spec = {
+        "kind": "run",
+        "workload": args.workload,
+        "machine": args.machine,
+        "args": _record_spec_args(args),
+    }
+    if args.policy:
+        spec["policy"] = args.policy
+        if args.policy_args:
+            try:
+                spec["policy_args"] = json.loads(args.policy_args)
+            except json.JSONDecodeError as exc:
+                print(f"repro record: --policy-args is not JSON: {exc}")
+                return 2
+    if not args.defrost:
+        spec["defrost"] = False
+    if args.defrost_period_ms is not None:
+        spec["defrost_period"] = args.defrost_period_ms * 1e6
+    try:
+        bundle, result = record_spec(spec)
+    except (TraceError, ValueError) as exc:
+        print(f"repro record: {exc}")
+        return 2
+    path = save_trace(bundle, args.out or f"{args.workload}.trace")
+    print(f"{args.workload}: {result.sim_time_ms:.2f} ms simulated on "
+          f"{args.p} of {args.machine} processors")
+    print(f"recorded {bundle.n_ops} ops on {bundle.n_threads} threads")
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .replay import TraceError, replay_trace
+
+    params = {}
+    for kv in args.param:
+        key, sep, value = kv.partition("=")
+        if not sep:
+            print(f"repro replay: --param wants KEY=VALUE, got {kv!r}")
+            return 2
+        try:
+            params[key] = float(value)
+        except ValueError:
+            print(f"repro replay: --param {key}: {value!r} is not a "
+                  "number")
+            return 2
+    policy_args = None
+    if args.policy_args:
+        try:
+            policy_args = json.loads(args.policy_args)
+        except json.JSONDecodeError as exc:
+            print(f"repro replay: --policy-args is not JSON: {exc}")
+            return 2
+    if args.fast and args.check:
+        print("repro replay: --fast is approximate; --check needs "
+              "exact mode")
+        return 2
+    try:
+        result = replay_trace(
+            args.trace,
+            policy=args.policy,
+            policy_args=policy_args,
+            defrost=args.defrost,
+            defrost_period=(
+                args.defrost_period_ms * 1e6
+                if args.defrost_period_ms is not None else None
+            ),
+            params=params or None,
+            check_expected=args.check,
+            mode="fast" if args.fast else "exact",
+        )
+    except TraceError as exc:
+        print(f"repro replay: {exc}")
+        return 2
+    print(f"replay: {result.sim_time_ms:.2f} ms simulated, "
+          f"{result.events_executed} events executed")
+    if args.fast:
+        print(f"fast mode: {result.batched_ops} ops batched into "
+              f"{result.windows} windows")
+    if args.check:
+        print("replay reproduces the recording run exactly")
+    print()
+    print(result.report.format(max_rows=args.rows))
+    return 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     from .analysis import run_dashboard
 
@@ -576,6 +695,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PLATINUM (SOSP 1989) reproduction experiments",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="the section 4.1 cost-model table")
@@ -646,6 +767,65 @@ def build_parser() -> argparse.ArgumentParser:
         rp.add_argument("--rows", type=int, default=15,
                         help="report rows to print")
         rp.set_defaults(fn=_cmd_run, workload=name)
+
+    rc = sub.add_parser(
+        "record",
+        help="run a workload once and write a repro-trace bundle",
+    )
+    rc.add_argument("workload",
+                    choices=("gauss", "mergesort", "neural", "jacobi",
+                             "matmul"),
+                    help="workload to record")
+    workload_args(rc, 64)
+    rc.add_argument("-o", "--out", default=None, metavar="PATH",
+                    help="bundle path (default: WORKLOAD.trace)")
+    rc.add_argument("--policy", default=None,
+                    choices=("freeze", "always", "never", "ace"),
+                    help="coherence policy to record under "
+                    "(default: the paper's freeze/defrost policy)")
+    rc.add_argument("--policy-args", default=None, metavar="JSON",
+                    help="policy constructor kwargs as a JSON object")
+    rc.add_argument("--no-defrost", dest="defrost",
+                    action="store_false",
+                    help="record with the defrost daemon disabled")
+    rc.add_argument("--defrost-period-ms", type=float, default=None,
+                    help="defrost daemon period in simulated ms")
+    rc.set_defaults(fn=_cmd_record, defrost=True)
+
+    rx = sub.add_parser(
+        "replay",
+        help="re-simulate a recorded trace under policy/machine "
+        "variants",
+    )
+    rx.add_argument("trace", help="repro-trace bundle to replay")
+    rx.add_argument("--policy", default=None,
+                    choices=("freeze", "always", "never", "ace"),
+                    help="override the recorded coherence policy")
+    rx.add_argument("--policy-args", default=None, metavar="JSON",
+                    help="policy constructor kwargs as a JSON object")
+    defr = rx.add_mutually_exclusive_group()
+    defr.add_argument("--defrost", dest="defrost", default=None,
+                      action="store_true",
+                      help="force the defrost daemon on")
+    defr.add_argument("--no-defrost", dest="defrost",
+                      action="store_false",
+                      help="force the defrost daemon off")
+    rx.add_argument("--defrost-period-ms", type=float, default=None,
+                    help="override the defrost period in simulated ms")
+    rx.add_argument("--param", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="override a machine timing parameter "
+                    "(repeatable; e.g. --param t_remote_read=10000)")
+    rx.add_argument("--check", action="store_true",
+                    help="assert the replay reproduces the recording "
+                    "run exactly (sim time, events, counters)")
+    rx.add_argument("--fast", action="store_true",
+                    help="array-at-a-time costing: batches fault-free "
+                    "stretches into windows (approximate timing; "
+                    "incompatible with --check)")
+    rx.add_argument("--rows", type=int, default=15,
+                    help="report rows to print")
+    rx.set_defaults(fn=_cmd_replay)
 
     me = sub.add_parser(
         "metrics",

@@ -74,7 +74,8 @@ class BlockTransferEngine:
             occupancy = duration * self.params.block_transfer_bus_fraction
             src_bus.occupy(start, occupancy)
             dst_bus.occupy(start, occupancy)
-        dst.copy_from(src)
+        if not self.modules[dst.module_index].dataless:
+            dst.copy_from(src)
         end = int(round(start + duration))
         self.transfer_count += 1
         self.words_transferred += words

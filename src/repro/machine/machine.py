@@ -23,10 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..sim.engine import Engine
 from .blockxfer import BlockTransferEngine
 from .interrupts import InterruptController
-from .memory import Frame, MemoryModule
+from .memory import WORD_DTYPE, Frame, MemoryModule
 from .mmu import MMU
 from .params import MachineParams
 from .pmap import InvertedPageTable
@@ -47,12 +49,24 @@ class Machine:
     """A simulated NUMA multiprocessor."""
 
     def __init__(
-        self, params: MachineParams, engine: Optional[Engine] = None
+        self,
+        params: MachineParams,
+        engine: Optional[Engine] = None,
+        dataless: bool = False,
     ) -> None:
         self.params = params.validated()
         self.engine = engine if engine is not None else Engine()
+        # dataless machines share one word array across every frame: the
+        # trace replayer costs accesses without moving data, so it skips
+        # the (real-time dominant) per-frame allocations and zeroing
+        shared = (
+            np.zeros(self.params.words_per_page, dtype=WORD_DTYPE)
+            if dataless
+            else None
+        )
         self.modules = [
-            MemoryModule(i, self.params) for i in range(self.params.n_modules)
+            MemoryModule(i, self.params, frame_data=shared)
+            for i in range(self.params.n_modules)
         ]
         self.ipts = [InvertedPageTable(m) for m in self.modules]
         self.topology: Topology = make_topology(self.params)

@@ -30,6 +30,31 @@ class OutOfFramesError(MemoryError):
     """A memory module has no free page frames."""
 
 
+class LazyList(list):
+    """A fixed-length list whose elements materialize on first access.
+
+    Dataless (replay) kernels create thousands of frame and
+    inverted-page-table entries per module but touch only the few a
+    given trace allocates; building them on demand makes kernel
+    construction O(pages used) instead of O(physical memory).  Only
+    indexed access materializes -- iteration sees ``None`` holes, so
+    this is reserved for structures accessed strictly by index.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, n: int, factory) -> None:
+        super().__init__([None] * n)
+        self._factory = factory
+
+    def __getitem__(self, index):
+        value = list.__getitem__(self, index)
+        if value is None:
+            value = self._factory(index)
+            list.__setitem__(self, index, value)
+        return value
+
+
 @dataclass(eq=False)
 class Frame:
     """One physical page frame.
@@ -71,16 +96,35 @@ class Frame:
 
 
 class MemoryModule:
-    """One node's memory: frames plus a FIFO bus resource for contention."""
+    """One node's memory: frames plus a FIFO bus resource for contention.
 
-    def __init__(self, index: int, params: MachineParams) -> None:
+    ``frame_data`` makes the module *dataless*: every frame shares the one
+    given word array and allocation skips zeroing.  Timing is unaffected
+    (data movement carries no simulated cost), but per-frame array
+    allocation -- the dominant real-time cost of building a kernel -- is
+    elided.  Used by the trace replayer, which never reads frame contents.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        params: MachineParams,
+        frame_data: np.ndarray | None = None,
+    ) -> None:
         self.index = index
         self.params = params
+        self.dataless = frame_data is not None
         words = params.words_per_page
-        self.frames: list[Frame] = [
-            Frame(index, i, np.zeros(words, dtype=WORD_DTYPE))
-            for i in range(params.frames_per_module)
-        ]
+        if frame_data is not None:
+            self.frames: list[Frame] = LazyList(
+                params.frames_per_module,
+                lambda i: Frame(index, i, frame_data),
+            )
+        else:
+            self.frames = [
+                Frame(index, i, np.zeros(words, dtype=WORD_DTYPE))
+                for i in range(params.frames_per_module)
+            ]
         self._free: list[int] = list(range(params.frames_per_module - 1, -1, -1))
         self.bus = FifoResource(f"module[{index}].bus")
         self.alloc_count = 0
@@ -122,7 +166,8 @@ class MemoryModule:
         if frame.allocated:
             raise RuntimeError(f"free list corrupt: {frame!r} was allocated")
         frame.allocated = True
-        frame.zero()
+        if not self.dataless:
+            frame.zero()
         self.alloc_count += 1
         return frame
 

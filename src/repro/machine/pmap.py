@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from .memory import Frame, MemoryModule
+from .memory import Frame, LazyList, MemoryModule
 
 
 class Rights(enum.IntFlag):
@@ -147,9 +147,14 @@ class InvertedPageTable:
 
     def __init__(self, module: MemoryModule) -> None:
         self.module = module
-        self._entries: list[IptEntry] = [
-            IptEntry(frame) for frame in module.frames
-        ]
+        frames = module.frames
+        if isinstance(frames, LazyList):
+            # dataless kernels: entries (like frames) appear on demand
+            self._entries: list[IptEntry] = LazyList(
+                len(frames), lambda i: IptEntry(frames[i])
+            )
+        else:
+            self._entries = [IptEntry(frame) for frame in frames]
         #: direct index from cpage -> frame index, modelling the result of
         #: the hash-probe (the probe *cost* is charged by the fault path)
         self._by_cpage: dict[int, int] = {}

@@ -18,14 +18,24 @@ every worker) caching keeps being invalidated, so the scorer flags it
 with ``recommended == "remote_map"`` -- the same conclusion the paper's
 programmers reached by reading the per-page instrumentation.
 
-This is deliberately a *model* of the alternative, not a re-simulation:
-the reference string is taken as fixed, which is exactly the
-approximation the paper's own cost model (section 4.1) makes.
+By default this is deliberately a *model* of the alternative, not a
+re-simulation: the reference string is taken as fixed, which is exactly
+the approximation the paper's own cost model (section 4.1) makes.  When
+a ``repro-trace/1`` bundle of the run is available (``trace=``), the
+scorer upgrades to full fidelity: it re-simulates the whole trace under
+each pure policy (``always`` for cache, ``never`` for remote_map) and
+reads the page's attributed cost out of each replay, so queueing,
+shootdown fan-out and fault interleaving are priced for real instead of
+modeled.  Both paths share the same 5% indifference margin; the
+``method`` key records which one produced the verdict.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from ..analysis.costmodel import MigrationCostModel
+from .attribution import compute_attribution
 from .source import ProfileSource
 
 #: fault actions that represent a policy-decided miss on a shared page
@@ -34,9 +44,54 @@ MISS_ACTIONS = ("replicate", "migrate", "remote_map", "collapse")
 #: relative margin under which the two alternatives are a wash
 INDIFFERENCE_MARGIN = 0.05
 
+#: pure-alternative replays already priced this process, keyed by
+#: (trace identity, policy) -- ``repro explain`` scores several pages
+#: from one bundle and each replay prices every page at once
+_REPLAY_MEMO: dict = {}
 
-def page_verdict(source: ProfileSource, cpage: int) -> dict:
-    """Score the observed reference string of one page (see module doc)."""
+
+def _replayed_attribution(trace, policy: str):
+    """Per-page cost attribution of ``trace`` re-simulated under a pure
+    policy (memoized per trace + policy)."""
+    key = (
+        str(trace) if isinstance(trace, (str, Path)) else id(trace),
+        policy,
+    )
+    cached = _REPLAY_MEMO.get(key)
+    if cached is not None:
+        return cached
+    from ..replay import replay_trace  # local: profile <-> replay cycle
+
+    result = replay_trace(trace, policy=policy, trace=True, probe=True,
+                          metrics=False)
+    replay_source = ProfileSource.from_run(
+        result.kernel, result, result.probe,
+        workload=f"replay:{policy}",
+    )
+    attribution = compute_attribution(replay_source)
+    _REPLAY_MEMO[key] = attribution
+    return attribution
+
+
+def _replay_page_costs(trace, cpage: int) -> tuple[int, int]:
+    """(cost under always-cache, cost under never-cache) for one page,
+    each the page's attributed nanoseconds in a full re-simulation."""
+    cache = _replayed_attribution(trace, "always")
+    remote = _replayed_attribution(trace, "never")
+    return (
+        int(cache.per_page.get(cpage, {}).get("total", 0)),
+        int(remote.per_page.get(cpage, {}).get("total", 0)),
+    )
+
+
+def page_verdict(source: ProfileSource, cpage: int, trace=None) -> dict:
+    """Score the observed reference string of one page (see module doc).
+
+    ``trace`` may name a ``repro-trace/1`` bundle (path or
+    :class:`~repro.replay.TraceBundle`) of the same run; when given,
+    the two alternatives are priced by full re-simulation instead of
+    the analytic cost model.
+    """
     params = source.params
     actions: dict[str, int] = {}
     for e in source.events:
@@ -67,13 +122,13 @@ def page_verdict(source: ProfileSource, cpage: int) -> dict:
         # zero-length reference string: nothing to decide
         verdict.update(recommended="indifferent", policy_chose="none",
                        policy_agrees=True, cost_if_cache_ns=0,
-                       cost_if_remote_ns=0,
+                       cost_if_remote_ns=0, method="model",
                        note="page was never referenced")
         return verdict
-    if not source.complete or not params:
+    if trace is None and (not source.complete or not params):
         verdict.update(recommended="unknown", policy_chose="unknown",
                        policy_agrees=True, cost_if_cache_ns=0,
-                       cost_if_remote_ns=0,
+                       cost_if_remote_ns=0, method="model",
                        note="no access counters in this trace")
         return verdict
 
@@ -84,28 +139,37 @@ def page_verdict(source: ProfileSource, cpage: int) -> dict:
     shared_reads = sum(r for p, (r, w) in words.items() if p != home)
     shared_writes = sum(w for p, (r, w) in words.items() if p != home)
     sharers = [p for p in words if p != home]
-
-    # F as the paper uses it: worst-case migration overhead -- remote
-    # kernel data plus a shootdown plus freeing the old copy
-    model = MigrationCostModel(
-        t_local=params["t_local"],
-        t_remote=params["t_remote_read"],
-        t_block=params["t_block_word"],
-        fixed_overhead=(params["fault_fixed_remote"]
-                        + params["shootdown_first"]
-                        + params["page_free"]),
-    )
-    s = params["words_per_page"]
     shared = shared_reads + shared_writes
-    cost_cache = int(round(
-        misses * model.migrate_cost(s) + shared * params["t_local"]
-    ))
-    cost_remote = int(round(
-        len(sharers) * params["fault_fixed_remote"]
-        + shared_reads * params["t_remote_read"]
-        + shared_writes * params["t_remote_write"]
-    ))
-    if shared == 0 and misses == 0:
+
+    if trace is not None:
+        # full fidelity: the page's attributed cost in a re-simulation
+        # of the whole run under each pure policy
+        method = "replay"
+        cost_cache, cost_remote = _replay_page_costs(trace, cpage)
+    else:
+        # F as the paper uses it: worst-case migration overhead --
+        # remote kernel data plus a shootdown plus freeing the old copy
+        method = "model"
+        model = MigrationCostModel(
+            t_local=params["t_local"],
+            t_remote=params["t_remote_read"],
+            t_block=params["t_block_word"],
+            fixed_overhead=(params["fault_fixed_remote"]
+                            + params["shootdown_first"]
+                            + params["page_free"]),
+        )
+        s = params["words_per_page"]
+        cost_cache = int(round(
+            misses * model.migrate_cost(s) + shared * params["t_local"]
+        ))
+        cost_remote = int(round(
+            len(sharers) * params["fault_fixed_remote"]
+            + shared_reads * params["t_remote_read"]
+            + shared_writes * params["t_remote_write"]
+        ))
+    if cost_cache == cost_remote == 0 or (
+        method == "model" and shared == 0 and misses == 0
+    ):
         recommended = "indifferent"
         note = "single-processor page; placement does not matter"
     elif abs(cost_cache - cost_remote) <= (
@@ -138,6 +202,7 @@ def page_verdict(source: ProfileSource, cpage: int) -> dict:
         ),
         cost_if_cache_ns=cost_cache,
         cost_if_remote_ns=cost_remote,
+        method=method,
         note=note,
     )
     return verdict

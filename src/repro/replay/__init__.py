@@ -1,0 +1,52 @@
+"""Trace-driven replay: record a workload once, re-simulate variants.
+
+The paper's central methodology is comparing coherence policies on the
+*same* program reference behaviour.  Re-executing the full pure-Python
+program logic for every policy/machine variant is wasteful: the reference
+string does not change.  This package splits the two concerns:
+
+* :mod:`repro.replay.recorder` runs a program once under full simulation
+  and streams every thread's operations -- page reference runs, think
+  time, migrations and the Python-level wakeup causality -- into compact
+  numpy arrays;
+* :mod:`repro.replay.bundle` stores the streams plus the machine/layout
+  configuration and the recording run's expected results in a
+  byte-stable ``repro-trace/1`` bundle;
+* :mod:`repro.replay.replayer` re-simulates any policy x machine-params
+  variant directly from the arrays: no generators, no frame data, the
+  scalar simulation reduced to protocol events (translations, faults,
+  shootdowns, freezes, defrosts) over pre-decoded access runs.
+
+Replay under the recording configuration is *exact*: it reproduces the
+live run's event ordering, protocol event counts, attribution totals and
+completion time (asserted by the A/B suite in ``tests/test_replay.py``).
+Replay under a variant keeps the recorded reference string fixed -- the
+same approximation the paper's own cost model (and Mitosis/Phoenix-style
+trace-driven policy evaluation) makes.
+"""
+
+from .bundle import (
+    TRACE_SCHEMA,
+    RecordError,
+    ReplayError,
+    TraceBundle,
+    TraceError,
+    load_trace,
+    save_trace,
+)
+from .recorder import record_program, record_spec
+from .replayer import ReplayResult, replay_trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RecordError",
+    "ReplayError",
+    "ReplayResult",
+    "TraceBundle",
+    "TraceError",
+    "load_trace",
+    "record_program",
+    "record_spec",
+    "replay_trace",
+    "save_trace",
+]

@@ -33,12 +33,21 @@ from .ops import FetchAdd, Read, TestAndSet, WaitNewer, Write
 class Broadcast:
     """A versioned broadcast wakeup channel."""
 
+    #: class-level trace-recorder hook (see ``repro.replay.recorder``).
+    #: Fires are Python-level causality the replayer must reproduce, and
+    #: they can come from any Broadcast instance, so recording installs a
+    #: single class-wide observer rather than wrapping each channel.
+    recorder = None
+
     def __init__(self, engine: Engine, name: str = "broadcast") -> None:
         self.event = SimEvent(engine, name)
+        self.name = name
         self.version = 0
 
     def fire(self) -> None:
         self.version += 1
+        if Broadcast.recorder is not None:
+            Broadcast.recorder.note_fire(self)
         self.event.fire()
 
 

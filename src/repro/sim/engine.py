@@ -222,13 +222,16 @@ class Engine:
                 if until is not None and when > until:
                     self._now = int(round(until))
                     break
-                step()
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
+                    # checked with events still pending, so exactly
+                    # ``max_events`` run and a queue that drains right at
+                    # the budget does not raise
                     raise SimulationError(
                         f"exceeded max_events={max_events}; "
                         "possible runaway event loop"
                     )
+                step()
+                executed += 1
                 if stop_when is not None and stop_when():
                     break
             else:

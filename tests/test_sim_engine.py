@@ -90,6 +90,31 @@ def test_max_events_guard():
         engine.run(max_events=100)
 
 
+def test_max_events_executes_exactly_n_before_raising():
+    # regression: the guard used to run N+1 events before raising
+    engine = Engine()
+    seen = []
+
+    def rearm():
+        seen.append(engine.now)
+        engine.schedule(1, rearm)
+
+    engine.schedule(1, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=5)
+    assert len(seen) == 5
+
+
+def test_max_events_not_raised_when_queue_drains_at_budget():
+    engine = Engine()
+    seen = []
+    for i in range(5):
+        engine.schedule(i + 1, lambda i=i: seen.append(i))
+    executed = engine.run(max_events=5)
+    assert executed == 5
+    assert seen == [0, 1, 2, 3, 4]
+
+
 def test_stop_when_predicate():
     engine = Engine()
     seen = []
