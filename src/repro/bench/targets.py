@@ -45,6 +45,7 @@ from ..core.policy import (
 from ..runtime import make_kernel, run_program
 from ..workloads import (
     GaussianElimination,
+    GeneratedWorkload,
     JacobiSOR,
     MatrixMultiply,
     MergeSort,
@@ -63,6 +64,8 @@ _WORKLOADS: dict[str, Callable] = {
     "roundrobin": RoundRobinSharing,
     "phasechange": PhaseChangeSharing,
     "readonly": ReadOnlySharing,
+    # constrained-random programs; args = {"spec": WorkloadSpec.to_dict()}
+    "generated": GeneratedWorkload,
 }
 
 _POLICIES: dict[str, Callable] = {
@@ -1030,6 +1033,62 @@ _register(BenchTarget(
     title="Ablation: policy/machine variants re-simulated from one trace",
     points=_points_ablation_replay,
     derive=_derive_ablation_replay,
+))
+
+
+# generated: constrained-random spec x policy x machine matrix ----------------
+
+
+def _points_generated(scale: str):
+    from ..workloads import bench_spec_for, generate_spec
+
+    base_seed = 100
+    n_specs = _scaled(scale, 2, 4, 8)
+    policies = _scaled(
+        scale, (None,), (None, "always", "never"),
+        (None, "always", "never", "ace"),
+    )
+    machines = _scaled(scale, (None,), (None, 16), (None, 12, 16))
+    profile = "smoke" if scale == "smoke" else "quick"
+    specs = [generate_spec(base_seed + i, profile)
+             for i in range(n_specs)]
+    config = {
+        "profile": profile,
+        "base_seed": base_seed,
+        "specs": [s.name for s in specs],
+        "policies": [p or "default" for p in policies],
+        "machines": [m or "spec" for m in machines],
+    }
+    points = []
+    for spec in specs:
+        for policy in policies:
+            for machine in machines:
+                name = (f"{spec.name}:{policy or 'default'}"
+                        f":m={machine or spec.machine}")
+                points.append((
+                    name,
+                    bench_spec_for(spec, policy=policy, machine=machine),
+                ))
+    return config, points
+
+
+def _derive_generated(ok: dict) -> dict:
+    matrix: dict[str, dict] = {}
+    for name, m in ok.items():
+        spec_name, _, rest = name.partition(":")
+        matrix.setdefault(spec_name, {})[rest] = m["sim_time_ms"]
+    return {
+        "matrix_ms": matrix,
+        "total_faults": sum(m.get("faults", 0) for m in ok.values()),
+        "total_freezes": sum(m.get("freezes", 0) for m in ok.values()),
+    }
+
+
+_register(BenchTarget(
+    name="generated_matrix",
+    title="Generated: constrained-random specs x policy x machine",
+    points=_points_generated,
+    derive=_derive_generated,
 ))
 
 

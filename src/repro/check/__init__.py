@@ -25,8 +25,10 @@ from .fuzz import (
     FuzzReport,
     ScheduleOutcome,
     fuzz,
+    fuzz_corpus,
     make_schedule,
     run_schedule,
+    schedule_from_spec,
     shrink_schedule,
 )
 from .invariants import (
@@ -47,8 +49,10 @@ __all__ = [
     "ScheduleOutcome",
     "check_trace",
     "fuzz",
+    "fuzz_corpus",
     "install_invariant_checker",
     "make_schedule",
     "run_schedule",
+    "schedule_from_spec",
     "shrink_schedule",
 ]

@@ -102,6 +102,32 @@ class ScheduleOutcome:
         return self.failure is None
 
 
+def _make_fuzz_policy(policy: Optional[str], t1: float):
+    """A replication policy for the fuzz kernel by short name.
+
+    ``None``/"freeze" keep the historical default (timestamp freezing
+    with a short window so freezes occur inside the schedule's span);
+    the other registry names let corpus fuzzing sweep policies.
+    """
+    if policy is None or policy == "freeze":
+        return TimestampFreezePolicy(t1=t1)
+    from ..core.policy import (
+        AceStylePolicy,
+        AlwaysReplicatePolicy,
+        NeverCachePolicy,
+    )
+
+    table = {
+        "always": AlwaysReplicatePolicy,
+        "never": NeverCachePolicy,
+        "ace": AceStylePolicy,
+    }
+    try:
+        return table[policy]()
+    except KeyError:
+        raise ValueError(f"unknown fuzz policy {policy!r}")
+
+
 def run_schedule(
     ops: Sequence[FuzzOp],
     *,
@@ -109,6 +135,7 @@ def run_schedule(
     n_pages: int = 3,
     tie_seed: Optional[int] = None,
     t1: float = 2_000_000.0,
+    policy: Optional[str] = None,
     frames_per_module: int = 16,
     on_step: Optional[Callable[[int, Kernel], None]] = None,
     trace: bool = False,
@@ -117,17 +144,18 @@ def run_schedule(
     """Run one schedule on a fresh small kernel with invariants hooked.
 
     The freeze policy runs with a short ``t1`` so freezes actually occur
-    within the schedule's time span.  ``on_step(i, kernel)`` is called
-    after operation ``i`` -- the corruption-injection tests use it.
-    Tracing, when requested, uses the ring-buffer mode so unbounded
-    schedules cannot exhaust memory.
+    within the schedule's time span; ``policy`` swaps in another
+    registry policy ("always", "never", "ace") for corpus sweeps.
+    ``on_step(i, kernel)`` is called after operation ``i`` -- the
+    corruption-injection tests use it.  Tracing, when requested, uses
+    the ring-buffer mode so unbounded schedules cannot exhaust memory.
     """
     params = MachineParams(
         n_processors=n_processors, frames_per_module=frames_per_module
     ).validated()
     kernel = Kernel(
         params=params,
-        policy=TimestampFreezePolicy(t1=t1),
+        policy=_make_fuzz_policy(policy, t1),
         defrost_enabled=False,
     )
     if trace:
@@ -344,4 +372,123 @@ def fuzz(
                     shrunk=shrunk,
                 )
             )
+    return report
+
+
+# -- generated-corpus adapter -------------------------------------------------
+
+
+def schedule_from_spec(spec, max_ops: int = 120) -> Tuple[
+    Tuple[FuzzOp, ...], int, int
+]:
+    """Lower a declarative workload spec into a fuzz schedule.
+
+    Instead of the uniform random schedules of :func:`make_schedule`,
+    the operation stream follows the spec: the read/write mix and page
+    choice track each phase's distribution and the spec's sharing
+    pattern (private partitioning, hotspot skew, round-robin handoff,
+    ...), with the usual sprinkle of daemon and activation churn.  The
+    result is deterministic per spec (seeded from ``spec.seed``) and
+    returns ``(ops, n_processors, n_pages)`` sized to the spec.
+    """
+    from ..workloads.spec import WorkloadSpec
+
+    if isinstance(spec, dict):
+        spec = WorkloadSpec.from_dict(spec)
+    rng = random.Random(spec.seed ^ 0x5EED)
+    n_processors = max(2, min(spec.threads, spec.machine))
+    n_pages = max(2, min(spec.pages, 8))
+    ops: List[FuzzOp] = []
+    for phase in spec.phases:
+        read_frac = phase.mix["read"]
+        for k in range(phase.ops):
+            for tid in range(spec.threads):
+                if len(ops) >= max_ops:
+                    return tuple(ops), n_processors, n_pages
+                roll = rng.random()
+                if roll < 0.08:
+                    kind = rng.choice(
+                        ("defrost", "deactivate", "activate"))
+                else:
+                    kind = (
+                        "read" if rng.random() < read_frac else "write"
+                    )
+                sharing = spec.sharing
+                if sharing == "private":
+                    page = tid % n_pages
+                elif sharing == "round-robin":
+                    page = (tid + k) % n_pages
+                elif sharing == "producer-consumer":
+                    page = k % n_pages
+                elif sharing == "hotspot" and rng.random() < 0.75:
+                    page = 0
+                else:
+                    page = rng.randrange(n_pages)
+                if spec.false_sharing and rng.random() < 0.25:
+                    # model the falsely-shared counter page: all threads
+                    # write the same page back to back
+                    page = n_pages - 1
+                    if kind in ("read", "write"):
+                        kind = "write"
+                ops.append(FuzzOp(
+                    kind=kind,
+                    proc=tid % n_processors,
+                    vpage=page,
+                    value=rng.randrange(1, 100_000),
+                    delay_ns=rng.choice(DELAY_CHOICES),
+                ))
+    return tuple(ops), n_processors, n_pages
+
+
+def fuzz_corpus(
+    specs: Sequence,
+    *,
+    policies: Sequence[Optional[str]] = ("freeze", "always"),
+    max_ops: int = 120,
+    shrink: bool = True,
+    progress: Optional[Callable[[str, ScheduleOutcome], None]] = None,
+) -> FuzzReport:
+    """Fuzz every (corpus spec, policy) pair; shrink any failure.
+
+    The same invariant + shadow-memory nets as :func:`fuzz`, but the
+    schedules come from generated workload specs rather than uniform
+    randomness, so machine-generated scenarios (skewed mixes, false
+    sharing, phase structure) reach the protocol's tie-perturbed paths.
+    """
+    report = FuzzReport(n_seeds=len(specs) * len(policies), n_ops=max_ops)
+    for spec in specs:
+        ops, n_processors, n_pages = schedule_from_spec(
+            spec, max_ops=max_ops)
+        seed = spec.seed if not isinstance(spec, dict) else spec["seed"]
+        name = spec.name if not isinstance(spec, dict) else spec["name"]
+        for policy in policies:
+
+            def run(sub: Sequence[FuzzOp]) -> ScheduleOutcome:
+                return run_schedule(
+                    sub,
+                    n_processors=n_processors,
+                    n_pages=n_pages,
+                    tie_seed=seed,
+                    policy=policy,
+                )
+
+            outcome = run(ops)
+            report.schedules_run += 1
+            report.ops_run += outcome.ops_run
+            report.checks += outcome.checks
+            if progress is not None:
+                progress(f"{name}/{policy or 'freeze'}", outcome)
+            if outcome.failure is not None:
+                _step, _op, exc = outcome.failure
+                shrunk = (
+                    shrink_schedule(ops, lambda sub: not run(sub).ok)
+                    if shrink else tuple(ops)
+                )
+                report.failures.append(FuzzFailure(
+                    seed=seed,
+                    error=(f"{name} under {policy or 'freeze'}: "
+                           f"{type(exc).__name__}: {exc}"),
+                    schedule=tuple(ops),
+                    shrunk=shrunk,
+                ))
     return report

@@ -303,16 +303,54 @@ def _explain_run(args: argparse.Namespace, target: str):
                                   workload=target)
 
 
+def _is_workload_spec(target: str) -> bool:
+    """True when ``target`` is a ``repro-workload/1`` spec file."""
+    import json
+    from pathlib import Path
+
+    path = Path(target)
+    if not (path.is_file() and path.suffix == ".json"):
+        return False
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(doc, dict) and doc.get("schema") == "repro-workload/1"
+
+
+def _explain_spec(target: str):
+    """Run a generated workload spec live under the profiler.
+
+    The machine size and thread count come from the spec itself; a
+    short defrost period makes freeze/thaw visible in small runs, as in
+    the ``sec42`` target.
+    """
+    from .profile import AccessProbe, ProfileSource
+    from .workloads import GeneratedWorkload, WorkloadSpec
+
+    spec = WorkloadSpec.load(target)
+    kernel = make_kernel(
+        n_processors=spec.machine, trace=True, defrost_period=20e6
+    )
+    probe = AccessProbe.install(kernel.coherent)
+    result = run_program(kernel, GeneratedWorkload(spec))
+    return ProfileSource.from_run(kernel, result, probe,
+                                  workload=spec.name)
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .profile import ProfileError, ProfileSource, build_explain
+    from .workloads import SpecError
 
     target = args.target
     try:
         if target in _EXPLAIN_WORKLOADS or target == "sec42":
             source = _explain_run(args, target)
+        elif _is_workload_spec(target):
+            source = _explain_spec(target)
         else:
             source = ProfileSource.load(target)
-    except ProfileError as exc:
+    except (ProfileError, SpecError) as exc:
         print(f"repro explain: {exc}")
         return 2
     if args.save:
@@ -677,6 +715,33 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
                 f"{outcome.checks} sweeps)"
             )
 
+    if args.corpus:
+        from .check import fuzz_corpus
+        from .workloads import SpecError, WorkloadSpec
+        from .workloads.generate import corpus_paths
+
+        try:
+            specs = [WorkloadSpec.load(p)
+                     for p in corpus_paths(args.corpus)]
+        except SpecError as exc:
+            print(f"repro check fuzz: {exc}")
+            return 2
+        if not specs:
+            print(f"repro check fuzz: no spec files in {args.corpus}")
+            return 2
+        try:
+            report = fuzz_corpus(
+                specs,
+                policies=tuple(args.policies.split(",")),
+                shrink=args.shrink,
+                progress=progress,
+            )
+        except ValueError as exc:
+            print(f"repro check fuzz: {exc}")
+            return 2
+        print(report.describe())
+        return 0 if report.ok else 1
+
     report = fuzz(
         n_seeds=args.seeds,
         base_seed=args.base_seed,
@@ -688,6 +753,114 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
     )
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    """Dispatcher for the ``repro gen`` sub-subcommands; every spec
+    problem surfaces as a one-line exit-2 error, matching ``repro
+    explain``."""
+    try:
+        return args.gen_fn(args)
+    except ValueError as exc:  # SpecError and policy-name errors
+        print(f"repro gen: {exc}")
+        return 2
+
+
+def _cmd_gen_emit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .workloads import SpecError, generate_spec
+
+    if args.count < 1:
+        raise SpecError("-n must be at least 1")
+    specs = [generate_spec(args.seed + i, args.profile)
+             for i in range(args.count)]
+    if args.out == "-":
+        for spec in specs:
+            sys.stdout.write(spec.to_json())
+        return 0
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        path = spec.save(outdir / f"{spec.name}.json")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_gen_validate(args: argparse.Namespace) -> int:
+    from .workloads import WorkloadSpec
+
+    for file in args.files:
+        spec = WorkloadSpec.load(file)
+        print(f"{file}: ok -- {spec.name}: {spec.threads} threads, "
+              f"{spec.pages} pages, {len(spec.phases)} phase(s), "
+              f"{spec.total_ops_per_thread} ops/thread")
+    return 0
+
+
+def _cmd_gen_run(args: argparse.Namespace) -> int:
+    from .analysis.costmodel import run_counters
+    from .workloads import (
+        SpecError,
+        WorkloadSpec,
+        fingerprint_spec,
+        generate_spec,
+        run_spec,
+    )
+
+    specs = []
+    if args.seed is not None:
+        specs.extend(generate_spec(args.seed + i, args.profile)
+                     for i in range(args.count))
+    specs.extend(WorkloadSpec.load(file) for file in args.files)
+    if not specs:
+        raise SpecError("give spec files to run, or --seed to generate")
+    for spec in specs:
+        _kernel, result = run_spec(
+            spec,
+            policy=args.policy,
+            machine=args.machine,
+            check_invariants=args.check_invariants,
+        )
+        counters = run_counters(result)
+        print(f"{spec.name}: {result.sim_time_ms:.2f} ms simulated on "
+              f"{spec.threads} threads / "
+              f"{args.machine or spec.machine} processors -- "
+              f"{counters['faults']} faults, "
+              f"{counters['freezes']} freezes"
+              + (", invariants clean" if args.check_invariants else ""))
+        if args.fingerprint:
+            fp = fingerprint_spec(spec)
+            print(f"  fingerprint: spec {fp['spec_sha256'][:12]} "
+                  f"trace {fp['trace_sha256'][:12]} "
+                  f"({fp['events_executed']} events)")
+    return 0
+
+
+def _cmd_gen_corpus(args: argparse.Namespace) -> int:
+    from .workloads import write_corpus
+
+    written = write_corpus(args.out, n=args.count,
+                           base_seed=args.base_seed,
+                           profile=args.profile)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_gen_verify(args: argparse.Namespace) -> int:
+    from .workloads import verify_corpus
+
+    problems = verify_corpus(args.dir,
+                             fingerprints=not args.no_fingerprints)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"{len(problems)} corpus problem(s): regenerate with "
+              "'python -m repro gen corpus' and commit the result")
+        return 1
+    print(f"corpus ok: {args.dir}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1010,7 +1183,81 @@ def build_parser() -> argparse.ArgumentParser:
                      "debugging them to a minimal reproduction")
     ckf.add_argument("-v", "--verbose", action="store_true",
                      help="print one line per seed")
+    ckf.add_argument("--corpus", metavar="DIR",
+                     help="fuzz schedules lowered from the generated-"
+                     "workload specs in DIR instead of random ones")
+    ckf.add_argument("--policies", default="freeze,always",
+                     help="comma-separated policies for --corpus runs")
     ckf.set_defaults(fn=_cmd_check_fuzz)
+
+    ge = sub.add_parser(
+        "gen",
+        help="declarative workload specs: emit, validate, run and "
+        "drift-check a constrained-random corpus",
+    )
+    gesub = ge.add_subparsers(dest="gen_mode", required=True)
+
+    gee = gesub.add_parser(
+        "emit", help="generate spec files from consecutive seeds")
+    gee.add_argument("--seed", type=int, required=True,
+                     help="first generation seed")
+    gee.add_argument("-n", "--count", type=int, default=1,
+                     help="number of specs (seeds seed..seed+N-1)")
+    gee.add_argument("--profile", choices=("smoke", "quick"),
+                     default="smoke", help="generation size profile")
+    gee.add_argument("-o", "--out", default=".",
+                     help="output directory, or - for stdout")
+    gee.set_defaults(fn=_cmd_gen, gen_fn=_cmd_gen_emit)
+
+    gev = gesub.add_parser(
+        "validate", help="check spec files against the schema")
+    gev.add_argument("files", nargs="+", help="spec .json files")
+    gev.set_defaults(fn=_cmd_gen, gen_fn=_cmd_gen_validate)
+
+    ger = gesub.add_parser(
+        "run", help="simulate spec files (or fresh seeds)")
+    ger.add_argument("files", nargs="*", help="spec .json files")
+    ger.add_argument("--seed", type=int,
+                     help="generate and run from this seed instead")
+    ger.add_argument("-n", "--count", type=int, default=1,
+                     help="specs to generate with --seed")
+    ger.add_argument("--profile", choices=("smoke", "quick"),
+                     default="smoke", help="profile for --seed")
+    ger.add_argument("--policy",
+                     choices=("freeze", "always", "never", "ace"),
+                     help="replication policy override")
+    ger.add_argument("--machine", type=int,
+                     help="processors (default: the spec's machine)")
+    ger.add_argument("--check-invariants", action="store_true",
+                     help="hook the invariant checker after every "
+                     "protocol action")
+    ger.add_argument("--fingerprint", action="store_true",
+                     help="also record each run and print its "
+                     "trace-level fingerprint")
+    ger.set_defaults(fn=_cmd_gen, gen_fn=_cmd_gen_run)
+
+    gec = gesub.add_parser(
+        "corpus",
+        help="(re)write a golden corpus: spec files + FINGERPRINTS.json")
+    gec.add_argument("-o", "--out", default="tests/corpus",
+                     help="corpus directory")
+    gec.add_argument("-n", "--count", type=int, default=20,
+                     help="number of specs")
+    gec.add_argument("--base-seed", type=int, default=100,
+                     help="first generation seed")
+    gec.add_argument("--profile", choices=("smoke", "quick"),
+                     default="smoke", help="generation size profile")
+    gec.set_defaults(fn=_cmd_gen, gen_fn=_cmd_gen_corpus)
+
+    gey = gesub.add_parser(
+        "verify",
+        help="drift-check a corpus directory (byte-stable specs, "
+        "reproducible fingerprints)")
+    gey.add_argument("dir", nargs="?", default="tests/corpus",
+                     help="corpus directory")
+    gey.add_argument("--no-fingerprints", action="store_true",
+                     help="skip re-recording runs; check spec bytes only")
+    gey.set_defaults(fn=_cmd_gen, gen_fn=_cmd_gen_verify)
 
     return parser
 

@@ -11,6 +11,17 @@ from .gauss import (
     eliminate_reference,
     make_input as make_gauss_input,
 )
+from .generate import (
+    GeneratedWorkload,
+    bench_spec_for,
+    fingerprint_spec,
+    generate_corpus,
+    generate_spec,
+    program_for_spec,
+    run_spec,
+    verify_corpus,
+    write_corpus,
+)
 from .matmul import MatrixMultiply, matmul_reference
 from .mergesort import MergeSort, make_input as make_sort_input
 from .micro import (
@@ -24,6 +35,7 @@ from .micro import (
 )
 from .neural import NeuralNetSimulator
 from .sor import JacobiSOR, jacobi_reference, make_grid
+from .spec import PhaseSpec, SpecError, WorkloadSpec
 from .synthetic import (
     PhaseChangeSharing,
     PrivateWork,
@@ -33,15 +45,23 @@ from .synthetic import (
 
 __all__ = [
     "GaussianElimination",
+    "GeneratedWorkload",
     "JacobiSOR",
     "MatrixMultiply",
     "MergeSort",
     "NeuralNetSimulator",
     "PhaseChangeSharing",
+    "PhaseSpec",
     "PrivateWork",
     "ReadOnlySharing",
     "RoundRobinSharing",
+    "SpecError",
+    "WorkloadSpec",
+    "bench_spec_for",
     "eliminate_reference",
+    "fingerprint_spec",
+    "generate_corpus",
+    "generate_spec",
     "jacobi_reference",
     "matmul_reference",
     "make_grid",
@@ -54,4 +74,8 @@ __all__ = [
     "measure_shootdown_increment",
     "measure_upgrade_write",
     "measure_write_miss_present_plus",
+    "program_for_spec",
+    "run_spec",
+    "verify_corpus",
+    "write_corpus",
 ]

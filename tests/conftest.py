@@ -105,6 +105,30 @@ def freeze_harness():
     return make_harness(policy="freeze")
 
 
+# -- the generated-workload corpus --------------------------------------------
+
+
+#: corpus seeds the cross-suite fixture parametrizes over: one plain
+#: sharing spec and one false-sharing injector (seed 102), so every
+#: suite using the fixture covers both regimes
+GENERATED_FIXTURE_SEEDS = (100, 102)
+
+
+@pytest.fixture(params=GENERATED_FIXTURE_SEEDS,
+                ids=lambda s: f"gen-seed{s}")
+def generated_workload(request):
+    """A generated workload: ``(spec, make_program)``.
+
+    ``make_program()`` returns a *fresh* Program instance each call, so
+    suites that run the same spec twice (determinism A/B, record then
+    replay) never share generator state between runs.
+    """
+    from repro.workloads import GeneratedWorkload, generate_spec
+
+    spec = generate_spec(request.param, "smoke")
+    return spec, lambda: GeneratedWorkload(spec)
+
+
 # -- optional suite-wide invariant checking -----------------------------------
 
 

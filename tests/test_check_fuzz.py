@@ -13,10 +13,13 @@ from repro.check import (
     FuzzOp,
     InvariantViolation,
     fuzz,
+    fuzz_corpus,
     make_schedule,
     run_schedule,
+    schedule_from_spec,
     shrink_schedule,
 )
+from repro.workloads import generate_corpus, generate_spec
 
 # -- schedule generation ------------------------------------------------------
 
@@ -158,3 +161,100 @@ def test_op_describe_is_readable():
     op = FuzzOp(kind="write", proc=1, vpage=2, value=7, delay_ns=50_000)
     text = op.describe()
     assert "cpu1" in text and "write" in text and "page 2" in text
+
+
+# -- generated-corpus fuzzing -------------------------------------------------
+
+
+def test_schedule_from_spec_is_deterministic_and_bounded():
+    spec = generate_spec(100, "smoke")
+    ops, n_procs, n_pages = schedule_from_spec(spec)
+    again = schedule_from_spec(spec)
+    assert (ops, n_procs, n_pages) == again
+    assert 0 < len(ops) <= 120
+    assert all(0 <= op.proc < n_procs for op in ops)
+    assert all(0 <= op.vpage < n_pages for op in ops)
+
+
+def test_schedule_from_spec_tracks_the_spec():
+    """The lowered schedule reflects the spec's structure: a read-heavy
+    spec yields read-heavy schedules, and false sharing concentrates
+    writes on the shared counter page."""
+    heavy = generate_spec(106, "smoke")  # read-mostly, no false sharing
+    assert heavy.sharing == "read-mostly" and not heavy.false_sharing
+    ops, _, _ = schedule_from_spec(heavy)
+    reads = sum(1 for op in ops if op.kind == "read")
+    writes = sum(1 for op in ops if op.kind == "write")
+    assert reads > 2 * writes
+    fs = generate_spec(102, "smoke")
+    assert fs.false_sharing
+    fops, _, n_pages = schedule_from_spec(fs)
+    last_writes = sum(1 for op in fops
+                      if op.vpage == n_pages - 1 and op.kind == "write")
+    # the injector redirects ~25% of all ops into writes on the shared
+    # counter page, far above that page's uniform share
+    assert last_writes >= 0.15 * len(fops)
+
+
+def test_corpus_invariants_hold_across_specs_and_policies():
+    """The satellite's acceptance: >= 3 corpus specs x 2 policies, all
+    interleavings conform."""
+    specs = generate_corpus(3, 100, "smoke")
+    report = fuzz_corpus(specs, policies=("freeze", "always"))
+    assert report.ok, report.describe()
+    assert report.schedules_run == 6
+    assert report.checks > 0
+
+
+def test_corpus_fuzzing_still_shrinks_failures():
+    """ddmin shrinking works for corpus schedules exactly as for random
+    ones: a schedule poisoned with an impossible op shrinks to it."""
+    spec = generate_spec(100, "smoke")
+    ops, n_procs, n_pages = schedule_from_spec(spec, max_ops=30)
+    poison = FuzzOp(kind="write", proc=0, vpage=n_pages - 1,
+                    value=1, delay_ns=0)
+
+    def still_fails(sub):
+        return any(op is poison for op in sub)
+
+    shrunk = shrink_schedule(ops + (poison,), still_fails)
+    assert shrunk == (poison,)
+
+
+def test_corpus_fuzzing_catches_injected_corruption():
+    """An injected protocol violation surfaces through fuzz_corpus with
+    a shrunk reproduction, proving corpus schedules run under the same
+    nets as random ones."""
+    spec = generate_spec(102, "smoke")
+    ops, n_procs, n_pages = schedule_from_spec(spec, max_ops=40)
+
+    def corrupt(step, kernel):
+        cpage = next(
+            c for c in kernel.coherent.cpages if c.label == "fuzz0"
+        )
+        if cpage.n_copies > 1 and not cpage.frozen:
+            cpage.frozen = True
+            cpage.frozen_at = int(kernel.engine.now)
+
+    outcome = run_schedule(
+        ops, n_processors=n_procs, n_pages=n_pages,
+        tie_seed=spec.seed, on_step=corrupt,
+    )
+    assert not outcome.ok
+    assert isinstance(outcome.failure[2], InvariantViolation)
+
+
+def test_run_schedule_policy_variants():
+    """The policy parameter actually swaps policies: every registry name
+    conforms on the same corpus schedule, and unknown names are
+    rejected."""
+    spec = generate_spec(101, "smoke")
+    ops, n_procs, n_pages = schedule_from_spec(spec, max_ops=40)
+    for policy in (None, "freeze", "always", "never", "ace"):
+        outcome = run_schedule(
+            ops, n_processors=n_procs, n_pages=n_pages,
+            tie_seed=1, policy=policy,
+        )
+        assert outcome.ok, (policy, outcome.failure)
+    with pytest.raises(ValueError, match="unknown fuzz policy"):
+        run_schedule(ops, policy="bogus")

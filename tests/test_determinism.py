@@ -124,6 +124,63 @@ def test_same_seed_runs_export_byte_identical_jsonl():
     assert metrics_a
 
 
+def test_generated_workload_is_bit_stable(generated_workload):
+    """Generated programs get the same guarantee as hand-written ones:
+    two runs of the same spec are trace-identical."""
+    spec, make_program = generated_workload
+
+    def run():
+        kernel = make_kernel(n_processors=spec.machine, trace=True)
+        result = run_program(kernel, make_program())
+        return _trace_hash(kernel), result.sim_time_ns, \
+            run_counters(result)
+
+    assert run() == run()
+
+
+def test_generated_workload_telemetry_off_matches_on(generated_workload):
+    """Telemetry must stay invisible on generated programs too."""
+    spec, make_program = generated_workload
+
+    def run(metrics):
+        kernel = make_kernel(n_processors=spec.machine, trace=True,
+                             metrics=metrics)
+        result = run_program(kernel, make_program())
+        return _trace_hash(kernel), result.sim_time_ns, \
+            run_counters(result)
+
+    assert run(False) == run(True)
+
+
+def test_generated_workload_fast_path_changes_nothing(
+        monkeypatch, generated_workload):
+    spec, make_program = generated_workload
+
+    def run(fast_path):
+        monkeypatch.setattr(
+            machine_mod, "Engine",
+            lambda: Engine(fast_path=fast_path),
+        )
+        kernel = make_kernel(n_processors=spec.machine, trace=True)
+        result = run_program(kernel, make_program())
+        return _trace_hash(kernel), result.sim_time_ns, \
+            run_counters(result)
+
+    assert run(True) == run(False)
+
+
+def test_generated_bench_serial_matches_parallel():
+    """The generated matrix target, swept serially and in parallel,
+    emits equal documents (the serial == parallel guarantee the other
+    targets already have)."""
+    docs_serial, _ = run_bench(scale="smoke", jobs=1,
+                               filter_pattern="generated_matrix")
+    docs_parallel, _ = run_bench(scale="smoke", jobs=2,
+                                 filter_pattern="generated_matrix")
+    assert strip_wall_clock(docs_serial["generated_matrix"]) == \
+        strip_wall_clock(docs_parallel["generated_matrix"])
+
+
 def test_telemetry_off_matches_untouched_run():
     """A kernel with the default (disabled) registry must produce
     exactly the results of the seed-era untouched kernel -- telemetry

@@ -142,6 +142,49 @@ def test_replay_matches_live_on_bench_smoke_points(target_name):
         assert int(replay.sim_time_ns) == int(result.sim_time_ns), name
 
 
+# -- generated workloads ------------------------------------------------------
+
+
+def test_generated_workload_record_then_check(generated_workload):
+    """The cross-suite guarantee: a generated program records, and the
+    replay reproduces the recording's exact final state (sim time,
+    event count, every protocol counter)."""
+    from repro.workloads import bench_spec_for
+
+    spec, _make_program = generated_workload
+    bundle, result = record_spec(bench_spec_for(spec))
+    replay = replay_trace(bundle, check_expected=True)
+    assert int(replay.sim_time_ns) == int(result.sim_time_ns)
+    for key in COUNTER_KEYS:
+        assert replay.counters[key] == bundle.expected["counters"][key]
+
+
+def test_generated_workload_record_is_noninvasive(generated_workload):
+    """Recording a generated program must not perturb it: the recorded
+    run's counters equal a plain run's."""
+    from repro.analysis import run_counters
+    from repro.runtime import run_program as run_prog
+    from repro.workloads import bench_spec_for
+
+    spec, make_program = generated_workload
+    bundle, _result = record_spec(bench_spec_for(spec))
+    kernel = make_kernel(n_processors=spec.machine)
+    plain = run_prog(kernel, make_program())
+    assert bundle.expected["counters"] == run_counters(plain)
+
+
+def test_generated_workload_cli_record_check_cycle(
+        generated_workload, tmp_path, capsys):
+    """`record` -> `repro replay --check` through an on-disk bundle."""
+    from repro.workloads import bench_spec_for
+
+    spec, _make_program = generated_workload
+    bundle, _result = record_spec(bench_spec_for(spec))
+    path = save_trace(bundle, tmp_path / "gen.trace")
+    assert cli_main(["replay", str(path), "--check"]) == 0
+    assert "reproduces the recording" in capsys.readouterr().out
+
+
 # -- byte-stable bundles ------------------------------------------------------
 
 

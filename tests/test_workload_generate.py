@@ -1,0 +1,204 @@
+"""The constrained-random generator and its lowering
+(``repro.workloads.generate``): seed stability, lowering correctness
+under the full runtime, fingerprints and the bench matrix.
+"""
+
+import pytest
+
+from repro.runtime import make_kernel, run_program
+from repro.workloads import (
+    GeneratedWorkload,
+    SpecError,
+    bench_spec_for,
+    fingerprint_spec,
+    generate_corpus,
+    generate_spec,
+    run_spec,
+)
+from repro.workloads.generate import _PROFILE_RANGES
+
+# -- generation ---------------------------------------------------------------
+
+
+def test_generation_is_byte_stable_per_seed():
+    for seed in range(200, 210):
+        assert (generate_spec(seed, "smoke").to_json()
+                == generate_spec(seed, "smoke").to_json())
+
+
+def test_different_seeds_differ():
+    texts = {generate_spec(s, "smoke").to_json() for s in range(200, 220)}
+    assert len(texts) > 15
+
+
+def test_generated_specs_are_valid_and_profiled():
+    for seed in range(300, 330):
+        spec = generate_spec(seed, "smoke")
+        spec.validate()
+        ranges = _PROFILE_RANGES["smoke"]
+        assert ranges["threads"][0] <= spec.threads <= ranges["threads"][1]
+        assert ranges["pages"][0] <= spec.pages <= ranges["pages"][1]
+        assert spec.machine == ranges["machine"]
+        assert spec.profile == "smoke"
+        assert spec.seed == seed
+
+
+def test_generation_covers_the_interesting_regimes():
+    """Over a modest seed range the generator hits every sharing
+    pattern, false sharing, and multi-phase structure."""
+    specs = [generate_spec(s, "smoke") for s in range(100, 160)]
+    sharings = {s.sharing for s in specs}
+    assert sharings == set(
+        ("private", "uniform", "hotspot", "round-robin",
+         "producer-consumer", "read-mostly"))
+    assert any(s.false_sharing for s in specs)
+    assert any(len(s.phases) > 1 for s in specs)
+    assert any(ph.access == "zipf" for s in specs for ph in s.phases)
+
+
+def test_quick_profile_is_bigger():
+    smoke = generate_spec(7, "smoke")
+    quick = generate_spec(7, "quick")
+    assert quick.machine > smoke.machine
+    assert quick.total_ops_per_thread > smoke.total_ops_per_thread
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(SpecError, match="unknown generation profile"):
+        generate_spec(1, "galactic")
+
+
+def test_generate_corpus_consecutive_seeds():
+    corpus = generate_corpus(5, 400, "smoke")
+    assert [s.seed for s in corpus] == [400, 401, 402, 403, 404]
+
+
+# -- lowering -----------------------------------------------------------------
+
+
+def run_generated(spec, **kernel_kwargs):
+    kernel = make_kernel(n_processors=spec.machine, **kernel_kwargs)
+    return kernel, run_program(kernel, GeneratedWorkload(spec))
+
+
+def test_lowered_program_runs_and_verifies():
+    """Every thread completes its exact op budget; verify() checks it."""
+    spec = generate_spec(100, "smoke")
+    _kernel, result = run_generated(spec)
+    assert len(result.thread_results) == spec.threads
+    for tid, ops_done, _fs in sorted(result.thread_results):
+        assert ops_done == spec.total_ops_per_thread
+
+
+def test_false_sharing_slots_stay_coherent_and_freeze():
+    """The injected falsely-shared counter page sees interleaved writes
+    from every thread (so it freezes under the timestamp policy), yet
+    each thread's private slot word stays exactly its own count."""
+    spec = generate_spec(102, "smoke")
+    assert spec.false_sharing
+    kernel, result = run_generated(spec)
+    for _tid, ops_done, fs_val in result.thread_results:
+        assert fs_val == ops_done
+    fs_rows = [r for r in result.report.rows
+               if r.label.startswith("gen-fs")]
+    assert fs_rows and any(r.was_frozen or r.frozen for r in fs_rows)
+
+
+def test_lowering_accepts_spec_dict():
+    spec = generate_spec(101, "smoke")
+    program = GeneratedWorkload(spec.to_dict())
+    assert program.spec == spec
+    assert program.name == spec.name
+
+
+def test_lowering_rejects_malformed_dict():
+    with pytest.raises(SpecError):
+        GeneratedWorkload({"schema": "repro-workload/1", "name": "x"})
+
+
+@pytest.mark.parametrize("seed", [100, 104, 109, 110, 101])
+def test_every_sharing_pattern_simulates(seed):
+    spec = generate_spec(seed, "smoke")
+    _kernel, result = run_generated(spec)
+    assert result.sim_time_ns > 0
+
+
+def test_run_spec_policy_and_machine_overrides():
+    from repro.analysis.costmodel import run_counters
+
+    spec = generate_spec(100, "smoke")
+    _k1, base = run_spec(spec)
+    _k2, never = run_spec(spec, policy="never")
+    _k3, wider = run_spec(spec, machine=8)
+    assert base.kernel.params.n_processors == spec.machine
+    assert wider.kernel.params.n_processors == 8
+    # NeverCache forces remote references: no replications at all
+    assert run_counters(never)["replications"] == 0
+    assert run_counters(base)["replications"] > 0
+
+
+def test_run_spec_check_invariants():
+    spec = generate_spec(105, "smoke")
+    _kernel, result = run_spec(spec, check_invariants=True)
+    assert result.sim_time_ns > 0
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_and_complete():
+    spec = generate_spec(100, "smoke")
+    fp = fingerprint_spec(spec)
+    assert fp == fingerprint_spec(spec)
+    assert fp["schema"] == "repro-genfp/1"
+    assert len(fp["spec_sha256"]) == 64
+    assert len(fp["trace_sha256"]) == 64
+    assert fp["n_threads"] == spec.threads
+    assert fp["events_executed"] > 0
+    assert fp["counters"]["faults"] > 0
+
+
+def test_fingerprint_distinguishes_specs():
+    a = fingerprint_spec(generate_spec(100, "smoke"))
+    b = fingerprint_spec(generate_spec(101, "smoke"))
+    assert a["spec_sha256"] != b["spec_sha256"]
+    assert a["trace_sha256"] != b["trace_sha256"]
+
+
+# -- the bench target ---------------------------------------------------------
+
+
+def test_bench_spec_for_shape():
+    spec = generate_spec(100, "smoke")
+    point = bench_spec_for(spec, policy="always", machine=8)
+    assert point["kind"] == "run"
+    assert point["workload"] == "generated"
+    assert point["machine"] == 8
+    assert point["policy"] == "always"
+    assert point["args"]["spec"] == spec.to_dict()
+    default = bench_spec_for(spec)
+    assert default["machine"] == spec.machine
+    assert "policy" not in default
+
+
+def test_generated_matrix_target_registered_and_executes():
+    from repro.bench.targets import TARGETS, execute_point
+
+    target = TARGETS["generated_matrix"]
+    config, points = target.points("smoke")
+    assert config["profile"] == "smoke"
+    assert len(points) >= 2
+    ok = {name: execute_point(spec, 0) for name, spec in points}
+    derived = target.derive(ok)
+    assert derived["matrix_ms"]
+    assert derived["total_faults"] > 0
+
+
+def test_generated_matrix_quick_scale_sweeps_policies():
+    from repro.bench.targets import TARGETS
+
+    _config, points = TARGETS["generated_matrix"].points("quick")
+    policies = {spec.get("policy", "default") for _n, spec in points}
+    machines = {spec["machine"] for _n, spec in points}
+    assert {"always", "never"} <= policies
+    assert len(machines) >= 2
