@@ -38,6 +38,7 @@ from .baselines import (
     uniform_system_kernel,
 )
 from .core import format_table as format_transitions
+from .policy.registry import policy_names
 from .runtime import make_kernel, run_program
 from .workloads import (
     GaussianElimination,
@@ -153,10 +154,39 @@ def _write_metrics_jsonl(kernel, sampler, destination: str) -> int:
     return text.count("\n")
 
 
+def _parse_policy_args(raw, verb: str):
+    """``--policy-args`` JSON -> dict, or the exit-2 sentinel string."""
+    import json
+
+    if not raw:
+        return None
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"repro {verb}: --policy-args is not JSON: {exc}")
+        return _POLICY_ARGS_ERROR
+
+
+_POLICY_ARGS_ERROR = object()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     want_metrics = args.metrics_out is not None
+    policy = None
+    if args.policy:
+        policy_args = _parse_policy_args(args.policy_args, args.workload)
+        if policy_args is _POLICY_ARGS_ERROR:
+            return 2
+        from .policy import make_policy
+
+        try:
+            policy = make_policy(args.policy, policy_args)
+        except ValueError as exc:
+            print(f"repro {args.workload}: {exc}")
+            return 2
     kernel = make_kernel(
-        n_processors=args.machine, trace=args.trace, metrics=want_metrics
+        n_processors=args.machine, trace=args.trace,
+        metrics=want_metrics, policy=policy,
     )
     if args.trace_out:
         _attach_trace_sink(kernel, args.trace_out)
@@ -449,12 +479,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"repro replay: --param {key}: {value!r} is not a "
                   "number")
             return 2
+    policy = args.policy
     policy_args = None
     if args.policy_args:
         try:
             policy_args = json.loads(args.policy_args)
         except json.JSONDecodeError as exc:
             print(f"repro replay: --policy-args is not JSON: {exc}")
+            return 2
+    if args.tuned:
+        from .policy import TuneError, load_tuned
+
+        try:
+            policy, policy_args = load_tuned(args.tuned)
+        except TuneError as exc:
+            print(f"repro replay: {exc}")
             return 2
     if args.fast and args.check:
         print("repro replay: --fast is approximate; --check needs "
@@ -463,7 +502,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     try:
         result = replay_trace(
             args.trace,
-            policy=args.policy,
+            policy=policy,
             policy_args=policy_args,
             defrost=args.defrost,
             defrost_period=(
@@ -486,6 +525,35 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print("replay reproduces the recording run exactly")
     print()
     print(result.report.format(max_rows=args.rows))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .policy import TuneError, dumps_tuned, tune
+    from .replay import TraceError
+
+    try:
+        doc = tune(args.trace, policy=args.policy,
+                   max_pages=args.max_pages)
+    except (TuneError, TraceError) as exc:
+        print(f"repro tune: {exc}")
+        return 2
+    text = dumps_tuned(doc)
+    if args.out and args.out != "-":
+        path = Path(args.out)
+        path.write_text(text)
+        base = doc["baseline"]
+        print(f"baseline {base['policy']}: "
+              f"{base['sim_time_ns'] / 1e6:.3f} ms")
+        print(f"tuned {doc['policy']}: "
+              f"{doc['sim_time_ns'] / 1e6:.3f} ms "
+              f"({doc['improvement_pct']:+.2f}% vs baseline, "
+              f"{len(doc['trials'])} trial(s))")
+        print(f"wrote {path}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -609,6 +677,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench import run_bench, summarize, write_results
 
+    if args.update:
+        # the one-verb snapshot-regeneration path: the committed
+        # BENCH_smoke.json is always the smoke scale of every target
+        if args.quick or args.full:
+            print("repro bench: --update regenerates the committed "
+                  "smoke snapshot; drop --quick/--full")
+            return 2
+        if args.filter:
+            print("repro bench: --update writes the all-target "
+                  "snapshot; drop --filter")
+            return 2
+        args.smoke = True
+        if not args.snapshot:
+            args.snapshot = "BENCH_smoke.json"
     scale = "full" if args.full else ("smoke" if args.smoke else "quick")
 
     def progress(result):
@@ -815,11 +897,28 @@ def _cmd_gen_run(args: argparse.Namespace) -> int:
     specs.extend(WorkloadSpec.load(file) for file in args.files)
     if not specs:
         raise SpecError("give spec files to run, or --seed to generate")
+    policy = args.policy
+    policy_args = _parse_policy_args(args.policy_args, "gen")
+    if policy_args is _POLICY_ARGS_ERROR:
+        return 2
+    if args.tuned:
+        from .policy import TuneError, load_tuned
+
+        try:
+            policy, policy_args = load_tuned(args.tuned)
+        except TuneError as exc:
+            print(f"repro gen: {exc}")
+            return 2
     for spec in specs:
         _kernel, result = run_spec(
             spec,
-            policy=args.policy,
+            policy=policy,
+            policy_args=policy_args,
             machine=args.machine,
+            defrost_period=(
+                args.defrost_period_ms * 1e6
+                if args.defrost_period_ms is not None else None
+            ),
             check_invariants=args.check_invariants,
         )
         counters = run_counters(result)
@@ -924,6 +1023,13 @@ def build_parser() -> argparse.ArgumentParser:
             formatter_class=argparse.RawDescriptionHelpFormatter,
         )
         workload_args(rp, default_n)
+        rp.add_argument("--policy", default=None,
+                        choices=policy_names(),
+                        help="replication policy (default: the "
+                        "paper's freeze/defrost policy)")
+        rp.add_argument("--policy-args", default=None, metavar="JSON",
+                        help="policy constructor kwargs as a JSON "
+                        "object")
         rp.add_argument("--trace", action="store_true",
                         help="record and print the protocol trace")
         rp.add_argument("--trace-out", default=None, metavar="PATH",
@@ -953,7 +1059,7 @@ def build_parser() -> argparse.ArgumentParser:
     rc.add_argument("-o", "--out", default=None, metavar="PATH",
                     help="bundle path (default: WORKLOAD.trace)")
     rc.add_argument("--policy", default=None,
-                    choices=("freeze", "always", "never", "ace"),
+                    choices=policy_names(),
                     help="coherence policy to record under "
                     "(default: the paper's freeze/defrost policy)")
     rc.add_argument("--policy-args", default=None, metavar="JSON",
@@ -972,10 +1078,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rx.add_argument("trace", help="repro-trace bundle to replay")
     rx.add_argument("--policy", default=None,
-                    choices=("freeze", "always", "never", "ace"),
+                    choices=policy_names(),
                     help="override the recorded coherence policy")
     rx.add_argument("--policy-args", default=None, metavar="JSON",
                     help="policy constructor kwargs as a JSON object")
+    rx.add_argument("--tuned", default=None, metavar="FILE",
+                    help="replay under the policy and parameters of a "
+                    "repro-tune/1 document (from `repro tune`); "
+                    "overrides --policy/--policy-args")
     defr = rx.add_mutually_exclusive_group()
     defr.add_argument("--defrost", dest="defrost", default=None,
                       action="store_true",
@@ -999,6 +1109,24 @@ def build_parser() -> argparse.ArgumentParser:
     rx.add_argument("--rows", type=int, default=15,
                     help="report rows to print")
     rx.set_defaults(fn=_cmd_replay)
+
+    tu = sub.add_parser(
+        "tune",
+        help="closed-loop policy tuning: replay candidate parameter "
+        "sets against a recorded trace and emit the winner as a "
+        "repro-tune/1 document",
+    )
+    tu.add_argument("trace", help="repro-trace bundle to tune against")
+    tu.add_argument("--policy", default="adaptive",
+                    choices=("adaptive", "competitive", "tuned"),
+                    help="zoo member to tune (default: adaptive)")
+    tu.add_argument("--max-pages", type=int, default=64,
+                    help="pages the counterfactual scorer prices "
+                    "(--policy tuned)")
+    tu.add_argument("-o", "--out", default="-", metavar="PATH",
+                    help="write the tuned-parameter document to PATH "
+                    "(default: stdout)")
+    tu.set_defaults(fn=_cmd_tune)
 
     me = sub.add_parser(
         "metrics",
@@ -1129,6 +1257,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the combined snapshot document "
                     "(all targets, wall-clock fields stripped for "
                     "byte-stable comparison) to PATH")
+    be.add_argument("--update", action="store_true",
+                    help="regenerate the committed smoke snapshot in "
+                    "one verb: forces --smoke and writes "
+                    "BENCH_smoke.json (or the --snapshot path)")
     be.add_argument("--base-seed", type=int, default=0,
                     help="base seed folded into every per-point seed")
     be.add_argument("--timeout", type=float, default=None,
@@ -1224,10 +1356,17 @@ def build_parser() -> argparse.ArgumentParser:
     ger.add_argument("--profile", choices=("smoke", "quick"),
                      default="smoke", help="profile for --seed")
     ger.add_argument("--policy",
-                     choices=("freeze", "always", "never", "ace"),
+                     choices=policy_names(),
                      help="replication policy override")
+    ger.add_argument("--policy-args", default=None, metavar="JSON",
+                     help="policy constructor kwargs as a JSON object")
+    ger.add_argument("--tuned", default=None, metavar="FILE",
+                     help="run under the policy and parameters of a "
+                     "repro-tune/1 document; overrides --policy")
     ger.add_argument("--machine", type=int,
                      help="processors (default: the spec's machine)")
+    ger.add_argument("--defrost-period-ms", type=float, default=None,
+                     help="defrost daemon period in simulated ms")
     ger.add_argument("--check-invariants", action="store_true",
                      help="hook the invariant checker after every "
                      "protocol action")

@@ -82,6 +82,10 @@ class DefrostDaemon:
         for cpage in self.policy.frozen_pages:
             if cpage.thaw_exempt:
                 continue
+            # the policy may hold hot pages frozen past the global t2
+            # (adaptive per-page deferral; the base class always thaws)
+            if not self.policy.should_thaw(cpage, now):
+                continue
             self.thaw_page(cpage, now, cause=run_eid)
             thawed += 1
         self.pages_thawed += thawed

@@ -92,6 +92,10 @@ class CoherentFaultHandler:
         self._m_transfers = m.counter(
             "transfers_total", "whole-page block transfers",
             labels=("src", "dst"))
+        self._m_decisions = m.counter(
+            "policy_decisions_total",
+            "replication-policy decisions on policy-consulted misses",
+            labels=("policy", "action"))
 
     # -- entry point -----------------------------------------------------------
 
@@ -226,6 +230,8 @@ class CoherentFaultHandler:
 
         ctx = FaultContext(cpage=cpage, processor=proc, now=now, write=False)
         action = self.policy.decide(ctx)
+        if self.metrics.enabled:
+            self._m_decisions.labels(self.policy.name, action.value).inc()
         if action is Action.CACHE:
             new_frame = self._try_allocate(proc, cpage)
             if new_frame is not None:
@@ -297,6 +303,8 @@ class CoherentFaultHandler:
 
         ctx = FaultContext(cpage=cpage, processor=proc, now=now, write=True)
         action = self.policy.decide(ctx)
+        if self.metrics.enabled:
+            self._m_decisions.labels(self.policy.name, action.value).inc()
         if action is Action.CACHE:
             new_frame = self._try_allocate(proc, cpage)
             if new_frame is not None:
@@ -345,6 +353,7 @@ class CoherentFaultHandler:
             t += self.machine.params.page_free
         cpage.has_write_mapping = False
         cpage.last_invalidation = int(t)
+        self.policy.note_invalidation(cpage, int(t))
         return t
 
     def _copy_page(self, cpage: Cpage, dst: Frame, t: float,

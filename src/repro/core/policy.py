@@ -1,192 +1,34 @@
-"""Replication policies (paper section 4.2).
+"""Compatibility shim: the policies moved to :mod:`repro.policy`.
 
-On every coherent-memory fault with no local copy, a policy module chooses
-between *caching* the page locally (replication on a read miss, migration
-on a write miss) and creating a *remote mapping* to an existing copy --
-effectively disabling caching for that page.  PLATINUM's interim policy
-uses a minimal history: the timestamp of the most recent invalidation by
-the coherency protocol.  A fault replicates/migrates only if that
-invalidation is at least ``t1`` in the past; otherwise the page is
-*frozen*, and stays frozen until the defrost daemon thaws it (period
-``t2``) or -- in the alternative policy variant -- until a fault after the
-window expires thaws it in place.
+The interface (:class:`~repro.policy.base.ReplicationPolicy`) and the
+paper's fixed policies (section 4.2) now live in the ``repro.policy``
+package, next to the online and adaptive zoo members and the registry
+that names them.  This module keeps every historical
+``repro.core.policy`` import working.
 
-The policy family here also includes the baselines the paper discusses:
-always-replicate (classic software DSM behaviour), never-cache (pure
-remote access / static placement, the Uniform System style), and an
-ACE-style policy after Bolosky et al. (writable pages never replicate and
-migrate only a bounded number of times before freezing).
+Imports go straight at the submodules (not the package) so ``repro.core``
+can be imported without dragging in the whole zoo -- and without a cycle
+through ``repro.policy.__init__``, whose members import ``repro.core``.
 """
 
-from __future__ import annotations
+from ..policy.base import (  # noqa: F401
+    Action,
+    FaultContext,
+    ReplicationPolicy,
+)
+from ..policy.fixed import (  # noqa: F401
+    AceStylePolicy,
+    AlwaysReplicatePolicy,
+    NeverCachePolicy,
+    TimestampFreezePolicy,
+)
 
-import enum
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-from .cpage import Cpage, CpageState
-
-
-class Action(enum.Enum):
-    """What to do about a miss with no local copy."""
-
-    #: make a local copy (replicate on read, migrate on write)
-    CACHE = "cache"
-    #: map an existing copy for remote access
-    REMOTE_MAP = "remote_map"
-
-
-@dataclass(frozen=True)
-class FaultContext:
-    """Inputs to a policy decision."""
-
-    cpage: Cpage
-    processor: int
-    now: int
-    write: bool
-
-
-class ReplicationPolicy(ABC):
-    """Decides between caching and remote mapping; owns the frozen list."""
-
-    name = "abstract"
-
-    def __init__(self) -> None:
-        self._frozen: list[Cpage] = []
-
-    @abstractmethod
-    def decide(self, ctx: FaultContext) -> Action:
-        """Choose the action for a miss with no local copy."""
-
-    # -- freeze bookkeeping ---------------------------------------------------
-
-    @property
-    def frozen_pages(self) -> list[Cpage]:
-        return list(self._frozen)
-
-    def freeze(self, cpage: Cpage, now: int) -> None:
-        """Freeze a page: all new mappings go to its single copy."""
-        if cpage.frozen:
-            return
-        if cpage.n_copies != 1:
-            raise ValueError(
-                f"cannot freeze {cpage!r}: it has {cpage.n_copies} copies"
-            )
-        cpage.frozen = True
-        cpage.frozen_at = now
-        cpage.stats.freezes += 1
-        self._frozen.append(cpage)
-
-    def thaw(self, cpage: Cpage, now: int) -> None:
-        """Un-freeze a page (defrost daemon or thaw-on-fault variant)."""
-        if not cpage.frozen:
-            return
-        cpage.frozen = False
-        cpage.frozen_at = None
-        cpage.stats.thaws += 1
-        self._frozen.remove(cpage)
-
-
-class TimestampFreezePolicy(ReplicationPolicy):
-    """PLATINUM's interim policy (section 4.2).
-
-    Parameters
-    ----------
-    t1:
-        The freeze window in ns (paper default: 10 ms).
-    thaw_on_fault:
-        The paper's *alternative* variant: a fault arriving after the
-        window has expired on a frozen page thaws it and caches.  The
-        default variant keeps the page frozen until explicitly thawed by
-        the defrost daemon.
-    """
-
-    def __init__(self, t1: float = 10_000_000.0, thaw_on_fault: bool = False):
-        super().__init__()
-        self.t1 = t1
-        self.thaw_on_fault = thaw_on_fault
-        self.name = (
-            "freeze(t1={:g}ms{})".format(
-                t1 / 1e6, ",thaw-on-fault" if thaw_on_fault else ""
-            )
-        )
-
-    def _window_expired(self, cpage: Cpage, now: int) -> bool:
-        return (
-            cpage.last_invalidation is None
-            or now - cpage.last_invalidation >= self.t1
-        )
-
-    def decide(self, ctx: FaultContext) -> Action:
-        cpage, now = ctx.cpage, ctx.now
-        if cpage.frozen:
-            if self.thaw_on_fault and self._window_expired(cpage, now):
-                self.thaw(cpage, now)
-                return Action.CACHE
-            return Action.REMOTE_MAP
-        if self._window_expired(cpage, now):
-            return Action.CACHE
-        # recently invalidated: interprocessor interference suspected.
-        # Invalidations leave the page modified with a single copy, which
-        # is exactly the precondition for freezing.
-        if cpage.n_copies == 1:
-            self.freeze(cpage, now)
-            return Action.REMOTE_MAP
-        return Action.CACHE
-
-
-class AlwaysReplicatePolicy(ReplicationPolicy):
-    """Cache on every miss: classic software-DSM behaviour (Li's SVM).
-
-    Pathological under fine-grain write-sharing, which is the case the
-    paper's remote-mapping extension exists to fix.
-    """
-
-    name = "always-replicate"
-
-    def decide(self, ctx: FaultContext) -> Action:
-        return Action.CACHE
-
-
-class NeverCachePolicy(ReplicationPolicy):
-    """Never replicate or migrate: all non-local access is remote.
-
-    With round-robin or first-touch initial placement this reproduces the
-    Uniform System / static placement programming model.
-    """
-
-    name = "never-cache"
-
-    def decide(self, ctx: FaultContext) -> Action:
-        if ctx.cpage.state is CpageState.EMPTY:
-            return Action.CACHE  # first touch places the page
-        return Action.REMOTE_MAP
-
-
-class AceStylePolicy(ReplicationPolicy):
-    """Bolosky et al.'s ACE policy (paper section 8).
-
-    Writable pages are never replicated and may migrate only
-    ``max_migrations`` times before being frozen in place; read-only (never
-    yet written) pages replicate freely.
-    """
-
-    def __init__(self, max_migrations: int = 2):
-        super().__init__()
-        self.max_migrations = max_migrations
-        self.name = f"ace(max_migrations={max_migrations})"
-
-    def decide(self, ctx: FaultContext) -> Action:
-        cpage = ctx.cpage
-        if cpage.frozen:
-            return Action.REMOTE_MAP
-        if ctx.write or cpage.stats.write_faults > 0:
-            if cpage.stats.migrations >= self.max_migrations:
-                if cpage.n_copies == 1:
-                    self.freeze(cpage, ctx.now)
-                return Action.REMOTE_MAP
-            if ctx.write:
-                return Action.CACHE
-            # read miss on a page that has been written: never replicate
-            return Action.REMOTE_MAP
-        return Action.CACHE
+__all__ = [
+    "Action",
+    "FaultContext",
+    "ReplicationPolicy",
+    "TimestampFreezePolicy",
+    "AlwaysReplicatePolicy",
+    "NeverCachePolicy",
+    "AceStylePolicy",
+]

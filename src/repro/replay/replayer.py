@@ -780,12 +780,12 @@ def _build_kernel(
         pargs = dict(config.get("policy_args") or {})
     policy_obj = None
     if name is not None:
-        from ..bench.targets import _POLICIES
+        from ..policy.registry import make_policy
 
         try:
-            policy_obj = _POLICIES[name](**pargs)
-        except KeyError:
-            raise ReplayError(f"unknown policy {name!r}")
+            policy_obj = make_policy(name, pargs)
+        except ValueError as exc:
+            raise ReplayError(str(exc))
     if metrics is True:
         from ..telemetry.metrics import MetricsRegistry
 

@@ -339,13 +339,15 @@ def run_spec(
     machine: Optional[int] = None,
     check_invariants: bool = False,
     trace: bool = False,
+    defrost: bool = True,
+    defrost_period=None,
 ):
     """Simulate one spec; returns ``(kernel, RunResult)``.
 
     ``check_invariants`` hooks the global invariant checker after every
     protocol action (the ``repro gen run --check-invariants`` path).
     """
-    from ..bench.targets import make_policy
+    from ..policy.registry import make_policy
     from ..runtime.run import make_kernel, run_program
 
     if isinstance(spec, dict):
@@ -354,6 +356,8 @@ def run_spec(
         n_processors=machine if machine is not None else spec.machine,
         policy=make_policy(policy, policy_args),
         trace=trace,
+        defrost_enabled=defrost,
+        defrost_period=defrost_period,
     )
     checker = None
     if check_invariants:

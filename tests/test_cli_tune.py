@@ -1,0 +1,219 @@
+"""CLI tests for the tuning loop and its consumers.
+
+``repro tune`` (record -> tune -> tuned JSON), ``repro replay --tuned``
+and ``repro gen run --tuned`` (consuming the document), the ``--policy``
+flag on the run verbs, and the ``repro bench --update`` snapshot verb.
+Error paths follow the house rule: exit code 2 with a one-line
+diagnostic, no traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.policy.tune import TUNE_SCHEMA
+from repro.replay import record_spec, save_trace
+
+SPEC = {
+    "kind": "run",
+    "workload": "gauss",
+    "machine": 4,
+    "args": {"n": 16, "n_threads": 2, "verify_result": False},
+}
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    bundle, _result = record_spec(dict(SPEC))
+    return save_trace(
+        bundle, tmp_path_factory.mktemp("tune") / "gauss.trace")
+
+
+# -- repro tune ---------------------------------------------------------------
+
+
+def test_tune_stdout_is_the_document(capsys, trace_path):
+    code, out = run_cli(capsys, "tune", str(trace_path))
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == TUNE_SCHEMA
+    assert doc["policy"] == "adaptive"
+
+
+def test_tune_to_file_prints_summary(capsys, trace_path, tmp_path):
+    out_path = tmp_path / "tuned.json"
+    code, out = run_cli(
+        capsys, "tune", str(trace_path), "-o", str(out_path))
+    assert code == 0
+    assert "baseline freeze:" in out
+    assert "tuned adaptive:" in out
+    assert f"wrote {out_path}" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["schema"] == TUNE_SCHEMA
+
+
+def test_tune_output_is_byte_stable(capsys, trace_path, tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert run_cli(capsys, "tune", str(trace_path), "-o", str(a))[0] == 0
+    assert run_cli(capsys, "tune", str(trace_path), "-o", str(b))[0] == 0
+    assert a.read_bytes() == b.read_bytes()
+    assert a.read_bytes().endswith(b"\n")
+
+
+def test_tune_competitive_policy(capsys, trace_path):
+    code, out = run_cli(
+        capsys, "tune", str(trace_path), "--policy", "competitive")
+    assert code == 0
+    assert json.loads(out)["policy"] == "competitive"
+
+
+def test_tune_missing_trace_exits_2(capsys, tmp_path):
+    code, out = run_cli(capsys, "tune", str(tmp_path / "missing.trace"))
+    assert code == 2
+    assert out.startswith("repro tune: ")
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_tune_garbage_trace_exits_2(capsys, tmp_path):
+    garbage = tmp_path / "garbage.trace"
+    garbage.write_bytes(b"this is not a trace bundle")
+    code, out = run_cli(capsys, "tune", str(garbage))
+    assert code == 2
+    assert out.startswith("repro tune: ")
+    assert len(out.strip().splitlines()) == 1
+
+
+# -- consuming tuned documents ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tuned_doc(trace_path, tmp_path_factory):
+    out_path = tmp_path_factory.mktemp("doc") / "tuned.json"
+    assert main(["tune", str(trace_path), "-o", str(out_path)]) == 0
+    return out_path
+
+
+def test_replay_tuned_round_trip(capsys, trace_path, tuned_doc):
+    code, out = run_cli(
+        capsys, "replay", str(trace_path), "--tuned", str(tuned_doc))
+    assert code == 0
+    assert "replay:" in out
+    # the replayed time is exactly what the document promised
+    doc = json.loads(tuned_doc.read_text())
+    assert f"{doc['sim_time_ns'] / 1e6:.2f} ms" in out
+
+
+def test_replay_tuned_rejects_bad_document(capsys, trace_path, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something/else"}))
+    code, out = run_cli(
+        capsys, "replay", str(trace_path), "--tuned", str(bad))
+    assert code == 2
+    assert out.startswith("repro replay: ")
+
+
+def test_gen_run_tuned_round_trip(capsys, tuned_doc):
+    code, out = run_cli(
+        capsys, "gen", "run", "--seed", "102", "--tuned", str(tuned_doc))
+    assert code == 0
+    assert "ms simulated" in out
+
+
+def test_gen_run_tuned_missing_document_exits_2(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "gen", "run", "--seed", "102",
+        "--tuned", str(tmp_path / "missing.json"))
+    assert code == 2
+    assert out.startswith("repro gen: ")
+
+
+# -- --policy on the run verbs ------------------------------------------------
+
+
+def test_run_verb_accepts_policy(capsys):
+    code, out = run_cli(
+        capsys, "gauss", "-n", "16", "-p", "2", "--machine", "4",
+        "--policy", "adaptive", "--no-verify",
+    )
+    assert code == 0
+    assert "gauss:" in out
+
+
+def test_run_verb_rejects_bad_policy_args(capsys):
+    code, out = run_cli(
+        capsys, "gauss", "-n", "16", "-p", "2", "--machine", "4",
+        "--policy", "adaptive", "--policy-args", "{not json",
+    )
+    assert code == 2
+    assert "--policy-args is not JSON" in out
+
+
+def test_run_verb_rejects_unknown_policy_parameter(capsys):
+    code, out = run_cli(
+        capsys, "gauss", "-n", "16", "-p", "2", "--machine", "4",
+        "--policy", "adaptive", "--policy-args", '{"bogus_knob": 1}',
+    )
+    assert code == 2
+    assert out.startswith("repro gauss: ")
+
+
+def test_gen_run_policy_args_flow_through(capsys):
+    code, out = run_cli(
+        capsys, "gen", "run", "--seed", "102",
+        "--policy", "adaptive",
+        "--policy-args", '{"t1_hot_factor": 16}',
+        "--defrost-period-ms", "1",
+    )
+    assert code == 0
+    assert "ms simulated" in out
+
+
+# -- repro bench --update -----------------------------------------------------
+
+
+def test_bench_update_conflicts_exit_2(capsys):
+    code, out = run_cli(capsys, "bench", "--update", "--quick")
+    assert code == 2
+    assert "drop --quick/--full" in out
+    code, out = run_cli(
+        capsys, "bench", "--update", "--filter", "ablation")
+    assert code == 2
+    assert "drop --filter" in out
+
+
+def test_bench_update_is_smoke_plus_snapshot(
+        capsys, tmp_path, monkeypatch):
+    """``--update`` is sugar for ``--smoke --snapshot
+    BENCH_smoke.json``: one verb to regenerate the committed
+    snapshot."""
+    seen = {}
+
+    def fake_run_bench(scale, jobs, filter_pattern, base_seed,
+                      timeout_s, progress):
+        seen["scale"] = scale
+
+        class _Runner:
+            degraded = False
+
+        return {}, _Runner()
+
+    def fake_write_snapshot(docs, scale, path):
+        seen["snapshot"] = path
+        out = tmp_path / "snap.json"
+        out.write_text("{}")
+        return out
+
+    monkeypatch.setattr("repro.bench.run_bench", fake_run_bench)
+    monkeypatch.setattr("repro.bench.write_snapshot", fake_write_snapshot)
+    code, _out = run_cli(
+        capsys, "bench", "--update", "--out", str(tmp_path))
+    assert code == 0
+    assert seen["scale"] == "smoke"
+    assert seen["snapshot"] == "BENCH_smoke.json"

@@ -129,3 +129,137 @@ def test_daemon_does_not_break_applications():
     attach_migration_daemon(kernel, period=10e6)
     run_program(kernel, GaussianElimination(n=16, n_threads=4))
     kernel.check_invariants()
+
+
+# -- the competitive-ratio invariant (property-based) --------------------------
+#
+# ``rent_or_buy_cost`` is the competitive argument behind both
+# ``break_even_words`` (the daemon's threshold) and the zoo's online
+# rent-or-buy policy, factored out as a pure function precisely so the
+# classic bound -- online <= 2 * OPT + max single rent -- can be checked
+# on arbitrary reference strings instead of hand-picked examples.
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cpage import Cpage
+from repro.policy import Action, FaultContext
+from repro.policy.competitive import (
+    OnlineCompetitivePolicy,
+    rent_or_buy_cost,
+)
+
+_rents = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=200,
+)
+_buy = st.floats(min_value=0.01, max_value=500.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+@given(rents=_rents, buy=_buy)
+def test_competitive_bound_on_random_reference_strings(rents, buy):
+    online, optimal = rent_or_buy_cost(rents, buy)
+    assert optimal == min(buy, sum(rents))
+    assert online >= optimal - 1e-9  # no online algorithm beats OPT
+    assert online <= 2.0 * optimal + max(rents, default=0.0) + 1e-9
+
+
+@given(n=st.integers(min_value=0, max_value=500),
+       rent=st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+       buy=_buy)
+def test_competitive_bound_all_read_degenerate(n, rent, buy):
+    """All-read reference string: identical rent charges.  The online
+    cost is within a factor ~2 of the offline optimum, and a buy
+    happens exactly when the total read rent reaches the buy price."""
+    online, optimal = rent_or_buy_cost([rent] * n, buy)
+    assert online <= 2.0 * optimal + rent + 1e-9
+    total = sum([rent] * n)
+    if total < buy:
+        # renting all the way: the online cost is pure rent, no buy
+        assert online == total
+        assert optimal == total
+    else:
+        # the rent crossed break-even somewhere: OPT buys up front,
+        # the online algorithm pays at most one window of extra rent
+        assert optimal == buy
+        assert online <= 2.0 * buy + rent + 1e-9
+
+
+@given(write_rent=st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False),
+       n_reads=st.integers(min_value=0, max_value=100),
+       buy=_buy)
+def test_competitive_bound_single_writer_degenerate(
+        write_rent, n_reads, buy):
+    """Single-writer degenerate case: one write charge followed by
+    free local reads.  The online algorithm never pays more than the
+    single rent plus (if that rent already crosses break-even) one
+    buy."""
+    online, optimal = rent_or_buy_cost([write_rent] + [0.0] * n_reads, buy)
+    assert optimal == min(buy, write_rent)
+    if write_rent < buy:
+        assert online == write_rent  # renting was optimal, no buy
+    else:
+        assert online == write_rent + buy
+    assert online <= 2.0 * optimal + write_rent + 1e-9
+
+
+def _policy_ctx(cpage, write):
+    return FaultContext(cpage=cpage, processor=1, now=0, write=write)
+
+
+@given(ops=st.lists(st.booleans(), max_size=150),
+       buy=_buy,
+       rent=st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+       write_rent=st.floats(min_value=0.0, max_value=20.0,
+                            allow_nan=False, allow_infinity=False))
+def test_online_policy_agrees_with_pure_function(
+        ops, buy, rent, write_rent):
+    """The fault-driven policy IS the pure decision procedure: driving
+    ``decide`` with an arbitrary read/write string buys exactly where
+    the accumulated rent crosses the buy price, epoch by epoch."""
+    policy = OnlineCompetitivePolicy(
+        buy=buy, rent=rent, write_rent=write_rent)
+    cpage = Cpage(index=0, home_module=0)
+    accrued = 0.0
+    for write in ops:
+        action = policy.decide(_policy_ctx(cpage, write))
+        accrued += write_rent if write else rent
+        if accrued >= buy:
+            assert action is Action.CACHE
+            accrued = 0.0
+        else:
+            assert action is Action.REMOTE_MAP
+
+
+def test_daemon_ignores_single_writer_local_page():
+    """The daemon-side degenerate case: a page only ever touched by its
+    home processor accumulates no remote counts and is never
+    re-placed."""
+    kernel = make_kernel(n_processors=2, policy=NeverCachePolicy())
+    kernel.coherent.reference_counting = True
+    daemon = MigrationDaemon(kernel.coherent, threshold_words=1)
+
+    class _LocalWriter(Program):
+        name = "local-writer"
+
+        def setup(self, api):
+            arena = api.arena(1, label="data")
+            self.va = arena.alloc(64, page_aligned=True)
+            self.cpage = arena.cpage_of(self.va)
+            api.spawn(0, self.writer, name="writer")
+
+        def writer(self, env):
+            for _ in range(20):
+                yield Write(self.va, 3)
+                yield Compute(1000)
+            return "done"
+
+    prog = _LocalWriter()
+    run_program(kernel, prog)
+    assert prog.cpage.remote_counts == {}
+    assert daemon.run_once() == 0

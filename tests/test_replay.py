@@ -252,6 +252,94 @@ def test_unknown_policy_rejected(gauss_recording):
         replay_trace(bundle, policy="nonsense")
 
 
+def test_zoo_policy_variants_replay(gauss_recording):
+    """The new zoo members run as replay variants and diverge where
+    they should."""
+    bundle, _result = gauss_recording
+    adaptive = replay_trace(bundle, policy="adaptive")
+    competitive = replay_trace(
+        bundle, policy="competitive", policy_args={"buy": 4.0})
+    for replay in (adaptive, competitive):
+        for key in COUNTER_KEYS:
+            assert key in replay.counters
+    # competitive pays rent before its first buy, so some misses that
+    # the recorded freeze policy cached go remote instead
+    assert competitive.counters["remote_mappings"] > \
+        bundle.expected["counters"]["remote_mappings"]
+
+
+# -- differential replay under the policy zoo ---------------------------------
+
+
+def _corpus_specs():
+    from pathlib import Path
+
+    from repro.workloads import WorkloadSpec
+    from repro.workloads.generate import corpus_paths
+
+    corpus = Path(__file__).parent / "corpus"
+    return [WorkloadSpec.load(p) for p in corpus_paths(corpus)]
+
+
+@pytest.mark.parametrize("spec", _corpus_specs(), ids=lambda s: s.name)
+def test_replay_adaptive_variant_agrees_with_live_run(spec):
+    """The differential contract behind `repro replay --policy X`: a
+    variant replay of a recorded trace is the *same simulation* as a
+    live run under policy X -- identical simulated time and identical
+    protocol counters -- for every golden-corpus spec.  The adaptive
+    policy refines the recorded policy's decisions without perturbing
+    the workloads' synchronization structure, so the replayer's
+    exactness contract extends to the live comparison."""
+    from repro.analysis import run_counters
+    from repro.workloads import bench_spec_for
+    from repro.workloads.generate import run_spec
+
+    bundle, _result = record_spec(bench_spec_for(spec))
+    replayed = replay_trace(bundle, policy="adaptive")
+    _kernel, live = run_spec(spec, policy="adaptive")
+    live_counters = run_counters(live)
+    assert int(replayed.sim_time_ns) == int(live.sim_time_ns), (
+        f"{spec.name}: replay under 'adaptive' diverged from the "
+        "live run")
+    for key in COUNTER_KEYS:
+        assert replayed.counters[key] == live_counters[key], (
+            spec.name, key)
+
+
+#: counters fully determined by the reference string and the policy --
+#: they must survive a live comparison even when timing shifts
+_STRUCTURAL_KEYS = (
+    "faults", "read_faults", "write_faults", "replications",
+    "migrations", "invalidations", "remote_mappings", "freezes",
+    "local_words", "remote_words", "transfers", "shootdowns", "ipis",
+)
+
+
+@pytest.mark.parametrize("policy", ("competitive", "never"))
+@pytest.mark.parametrize("spec", _corpus_specs(), ids=lambda s: s.name)
+def test_replay_variant_matches_live_protocol_structure(spec, policy):
+    """For variants that *do* shift timing (never-cache and rent-or-buy
+    turn cached accesses remote), the replayer holds the recorded
+    reference string fixed while a live run's spin/queueing behaviour
+    may drift.  The protocol structure is still determined by the
+    reference string and the policy alone, so every structural counter
+    must agree with the live run exactly; only time-derived metrics may
+    deviate, and then only slightly."""
+    from repro.analysis import run_counters
+    from repro.workloads import bench_spec_for
+    from repro.workloads.generate import run_spec
+
+    bundle, _result = record_spec(bench_spec_for(spec))
+    replayed = replay_trace(bundle, policy=policy)
+    _kernel, live = run_spec(spec, policy=policy)
+    live_counters = run_counters(live)
+    for key in _STRUCTURAL_KEYS:
+        assert replayed.counters[key] == live_counters[key], (
+            spec.name, policy, key)
+    assert abs(replayed.sim_time_ns - live.sim_time_ns) \
+        <= 0.05 * live.sim_time_ns
+
+
 # -- fast mode (approximate array-at-a-time costing) --------------------------
 
 
