@@ -21,6 +21,8 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..analysis.costmodel import aggregate_counters
+from ..obs import PoolHealth, get_ledger
+from ..obs import span as obs_span
 from .schema import make_doc, validate_bench, write_bench
 from .sweep import SweepRunner, Task, TaskResult, task_seed
 from . import targets as _targets  # noqa: F401  (warm import: fork
@@ -31,6 +33,17 @@ from .targets import TARGETS, BenchTarget
 DEFAULT_TIMEOUT_S = {"smoke": 120.0, "quick": 600.0, "full": 3600.0}
 
 DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def validate_scale(scale: str) -> str:
+    """Reject an unknown scale with a one-line error *before* any
+    timeout lookup or task expansion can raise a raw ``KeyError``."""
+    if scale not in DEFAULT_TIMEOUT_S:
+        raise ValueError(
+            f"unknown scale {scale!r} "
+            f"(have: {', '.join(DEFAULT_TIMEOUT_S)})"
+        )
+    return scale
 
 
 def select_targets(filter_pattern: Optional[str] = None) -> list[str]:
@@ -56,6 +69,7 @@ def _build_tasks(
 
     Returns (tasks, {target: config}, {task name: spec}).
     """
+    validate_scale(scale)
     if timeout_s is None:
         timeout_s = DEFAULT_TIMEOUT_S[scale]
     tasks: list[Task] = []
@@ -104,6 +118,25 @@ def _aggregate_telemetry(ok_metrics: dict[str, dict]) -> Optional[dict]:
     }
 
 
+def _wall_profiles(
+    target_results: list[TaskResult],
+    top: int,
+) -> Optional[dict]:
+    """Slowest-``top`` cProfile tables for one target's points."""
+    profiled = [
+        r for r in target_results
+        if r.span and isinstance(r.span.get("wall_profile"), dict)
+    ]
+    if not profiled:
+        return None
+    profiled.sort(key=lambda r: (-r.wall_s, r.name))
+    tables = {}
+    for result in profiled[:top]:
+        _, _, point_name = result.name.partition("::")
+        tables[point_name] = result.span["wall_profile"]
+    return {"slowest": top, "points": tables}
+
+
 def _group_results(
     names: list[str],
     results: list[TaskResult],
@@ -111,6 +144,7 @@ def _group_results(
     specs: dict[str, dict],
     scale: str,
     jobs: int,
+    profile_top: int = 0,
 ) -> dict[str, dict]:
     """Reduce flat sweep results into one BENCH document per target."""
     by_target: dict[str, list[TaskResult]] = {name: [] for name in names}
@@ -131,6 +165,13 @@ def _group_results(
             if result.ok:
                 ok_metrics[point_name] = result.value
         telemetry = _aggregate_telemetry(ok_metrics)
+        extra: dict = {}
+        if telemetry:
+            extra["telemetry"] = telemetry
+        if profile_top:
+            profiles = _wall_profiles(target_results, profile_top)
+            if profiles:
+                extra["wall_profile"] = profiles
         docs[name] = make_doc(
             target=name,
             title=target.title,
@@ -143,9 +184,44 @@ def _group_results(
                 sum(r.wall_s for r in target_results), 4
             ),
             jobs=jobs,
-            extra={"telemetry": telemetry} if telemetry else None,
+            extra=extra or None,
         )
     return docs
+
+
+def _ledger_points(results: list[TaskResult], parent) -> None:
+    """Append one ``bench.point`` span per sweep result.
+
+    Results arrive in task order (the sweep runner's contract), so span
+    ids are assigned deterministically even for parallel sweeps whose
+    *completion* order is nondeterministic.  Everything timing- or
+    placement-dependent lives under the record's ``wall`` key; the
+    stripped remainder is byte-stable across reruns.
+    """
+    ledger = get_ledger()
+    if ledger is None:
+        return
+    for result in results:
+        attrs = {
+            "task": result.name,
+            "seed": result.seed,
+            "ok": result.ok,
+            "timed_out": result.timed_out,
+        }
+        wall = {
+            "dur_s": round(result.wall_s, 4),
+            "queue_wait_s": round(result.queue_wait_s, 6),
+        }
+        if result.worker is not None:
+            wall["worker"] = result.worker
+        seg = result.span or {}
+        for key in ("pid", "t0_s", "exec_dur_s"):
+            if key in seg:
+                wall[key] = seg[key]
+        ledger.append_span(
+            "bench.point", attrs=attrs, wall=wall, parent=parent,
+            status="ok" if result.ok else "error",
+        )
 
 
 def run_bench(
@@ -155,12 +231,19 @@ def run_bench(
     base_seed: int = 0,
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[TaskResult], None]] = None,
+    profile_wall: int = 0,
+    health: Optional[PoolHealth] = None,
 ) -> tuple[dict[str, dict], "SweepRunner"]:
     """Run every selected target as one combined sweep.
 
     Returns ``({target: BENCH document}, runner)`` -- the runner carries
-    the ``degraded`` flag for callers that report on it.
+    the ``degraded`` flag for callers that report on it.  When a run
+    ledger is active (``repro --ledger``), the sweep runs inside a
+    ``bench.sweep`` span and each point gets a ``bench.point`` span.
+    ``profile_wall=N`` captures cProfile tables and embeds the slowest
+    ``N`` per target under the document's ``wall_profile`` extra.
     """
+    validate_scale(scale)
     names = select_targets(filter_pattern)
     if not names:
         raise ValueError(
@@ -170,9 +253,36 @@ def run_bench(
     tasks, configs, specs = _build_tasks(
         names, scale, base_seed, timeout_s
     )
-    runner = SweepRunner(jobs=jobs, progress=progress)
-    results = runner.run(tasks)
-    docs = _group_results(names, results, configs, specs, scale, jobs)
+    if health is None:
+        health = PoolHealth()
+    with obs_span(
+        "bench.sweep", scale=scale,
+        targets=len(names), tasks=len(tasks),
+    ) as sweep_span:
+        # jobs is parallelism-dependent, like the BENCH doc's "jobs"
+        # wall-clock field: keep it out of the rerun-stable attrs
+        sweep_span.wall["jobs"] = jobs
+        runner = SweepRunner(
+            jobs=jobs,
+            progress=progress,
+            health=health,
+            span_parent=sweep_span.sid,
+            profile_wall=bool(profile_wall),
+            profile_top=profile_wall or 10,
+        )
+        results = runner.run(tasks)
+        _ledger_points(results, parent=sweep_span.sid)
+        ledger = get_ledger()
+        if ledger is not None:
+            ledger.event("pool.summary", parent=sweep_span.sid,
+                         **health.summary())
+        sweep_span.attrs["failed"] = sum(
+            1 for r in results if not r.ok
+        )
+    docs = _group_results(
+        names, results, configs, specs, scale, jobs,
+        profile_top=profile_wall,
+    )
     return docs, runner
 
 

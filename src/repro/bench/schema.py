@@ -48,7 +48,8 @@ SCHEMA = "repro-bench/1"
 SCALES = ("smoke", "quick", "full")
 
 #: fields that may legitimately differ between runs of the same sweep
-WALL_CLOCK_FIELDS = ("wall_clock_s", "jobs")
+#: ("wall_profile" is the opt-in cProfile embedding -- pure wall data)
+WALL_CLOCK_FIELDS = ("wall_clock_s", "jobs", "wall_profile")
 POINT_WALL_CLOCK_FIELDS = ("wall_s",)
 
 
@@ -102,6 +103,17 @@ def validate_bench(doc: Any) -> list[str]:
                     problems.append(
                         f"doc.telemetry: missing required field {key!r}"
                     )
+    if "wall_profile" in doc:
+        # optional, wall-clock-only: slowest-point cProfile tables
+        if not isinstance(doc["wall_profile"], dict):
+            problems.append(
+                "doc.wall_profile: expected object, got "
+                f"{type(doc['wall_profile']).__name__}"
+            )
+        elif "points" not in doc["wall_profile"]:
+            problems.append(
+                "doc.wall_profile: missing required field 'points'"
+            )
     if need(doc, "points", list, "doc"):
         for i, point in enumerate(doc["points"]):
             where = f"doc.points[{i}]"

@@ -29,11 +29,12 @@ the import shares it with every worker.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 import traceback
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
@@ -58,6 +59,14 @@ class TaskResult:
     wall_s: float = 0.0
     seed: int = 0
     timed_out: bool = False
+    #: which worker ran it: a pool worker id, or "serial"
+    worker: object = None
+    #: wall seconds the task sat unassigned before a worker took it
+    queue_wait_s: float = 0.0
+    #: the span segment measured inside the worker process (pid, wall
+    #: t0/duration, propagated parent sid, optional wall_profile table);
+    #: observability data only -- never part of the BENCH point
+    span: Optional[dict] = field(default=None, repr=False)
 
     def to_point(self, config: Optional[dict] = None) -> dict:
         """Render as a BENCH document point entry."""
@@ -103,29 +112,63 @@ def _execute(spec: dict, seed: int) -> dict:
     return execute_point(spec, seed)
 
 
+def _run_task_segment(spec: dict, seed: int,
+                      ctx: Optional[dict]) -> tuple[dict, dict]:
+    """Execute one task and measure its span segment in this process.
+
+    Returns ``(value, span)`` where ``span`` carries the propagated
+    ledger parent from ``ctx`` plus the wall-clock facts only the
+    executing process knows (its pid, the in-process run duration, and
+    the optional cProfile table) -- the cross-process half of a
+    ``bench.point`` span.
+    """
+    span: dict = {
+        "pid": os.getpid(),
+        "t0_s": round(time.time(), 6),
+        "parent": (ctx or {}).get("parent"),
+    }
+    t0 = time.perf_counter()
+    try:
+        if ctx and ctx.get("profile_wall"):
+            from ..obs.wallprof import profile_call
+
+            value, table = profile_call(
+                _execute, spec, seed,
+                top=int(ctx.get("profile_top", 10)),
+            )
+            span["wall_profile"] = table
+        else:
+            value = _execute(spec, seed)
+    finally:
+        span["exec_dur_s"] = round(time.perf_counter() - t0, 6)
+    return value, span
+
+
 def _worker_loop(worker_id: int, task_q, result_q) -> None:
     """Worker-process entry point: stream tasks until the None sentinel.
 
-    Each message on ``task_q`` is ``(index, spec, seed)``; each reply on
-    ``result_q`` is ``(worker_id, index, kind, payload, wall_s)``.
+    Each message on ``task_q`` is ``(index, spec, seed, ctx)``; each
+    reply on ``result_q`` is
+    ``(worker_id, index, kind, payload, wall_s, span)``.
     """
     while True:
         item = task_q.get()
         if item is None:
             return
-        index, spec, seed = item
+        index, spec, seed, ctx = item
         t0 = time.perf_counter()
+        span: Optional[dict] = None
         try:
-            value = _execute(spec, seed)
+            value, span = _run_task_segment(spec, seed, ctx)
             result_q.put(
                 (worker_id, index, "ok", value,
-                 time.perf_counter() - t0)
+                 time.perf_counter() - t0, span)
             )
         except BaseException:  # noqa: BLE001 - the parent needs the report
             result_q.put(
                 (worker_id, index, "error",
                  traceback.format_exc(limit=8),
-                 time.perf_counter() - t0)
+                 time.perf_counter() - t0, span)
             )
 
 
@@ -134,8 +177,8 @@ class _Worker:
     id: int
     process: "mp.Process"
     task_q: "mp.Queue"
-    #: (task index, Task, assignment time) while busy, else None
-    busy: Optional[tuple[int, Task, float]] = None
+    #: (task index, Task, assignment time, queue wait) while busy
+    busy: Optional[tuple[int, Task, float, float]] = None
 
 
 class SweepRunner:
@@ -151,28 +194,55 @@ class SweepRunner:
         jobs: int = 1,
         progress: Optional[Callable[[TaskResult], None]] = None,
         poll_interval_s: float = 0.05,
+        health=None,
+        span_parent: Optional[int] = None,
+        profile_wall: bool = False,
+        profile_top: int = 10,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.progress = progress
         self.poll_interval_s = poll_interval_s
+        #: optional repro.obs.PoolHealth observability plane
+        self.health = health
+        #: ledger span id propagated to workers as their span parent
+        self.span_parent = span_parent
+        #: capture a cProfile top-function table per executed point
+        self.profile_wall = profile_wall
+        self.profile_top = profile_top
         #: True once the runner has degraded to serial execution
         self.degraded = False
+
+    def _ctx(self) -> dict:
+        """The context dict propagated across the process boundary."""
+        return {
+            "parent": self.span_parent,
+            "profile_wall": self.profile_wall,
+            "profile_top": self.profile_top,
+        }
 
     # -- serial ------------------------------------------------------------
 
     def _run_serial(self, task: Task) -> TaskResult:
         t0 = time.perf_counter()
+        span: Optional[dict] = None
         try:
-            value = _execute(task.spec, task.seed)
+            value, span = _run_task_segment(task.spec, task.seed,
+                                            self._ctx())
             result = TaskResult(
                 name=task.name, ok=True, value=value,
                 wall_s=time.perf_counter() - t0, seed=task.seed,
+                worker="serial", span=span,
             )
         except BaseException:  # noqa: BLE001 - reported per-task
             result = TaskResult(
                 name=task.name, ok=False,
                 error=traceback.format_exc(limit=8),
                 wall_s=time.perf_counter() - t0, seed=task.seed,
+                worker="serial", span=span,
+            )
+        if self.health is not None:
+            self.health.task_finished(
+                "serial", result.name, result.ok, result.wall_s,
             )
         if self.progress is not None:
             self.progress(result)
@@ -200,8 +270,17 @@ class SweepRunner:
 
     def _finish(self, worker: _Worker, result: TaskResult,
                 results: list, index: int) -> None:
+        if worker.busy is not None:
+            result.queue_wait_s = worker.busy[3]
+        if result.worker is None:
+            result.worker = worker.id
         results[index] = result
         worker.busy = None
+        if self.health is not None:
+            self.health.task_finished(
+                worker.id, result.name, result.ok, result.wall_s,
+                timed_out=result.timed_out,
+            )
         if self.progress is not None:
             self.progress(result)
 
@@ -213,23 +292,27 @@ class SweepRunner:
         Returns True if the worker must be respawned (its process is
         gone); the pending task has then already been resolved.
         """
-        index, task, started = worker.busy
+        index, task, started, _wait = worker.busy
         elapsed = time.perf_counter() - started
         if worker.process.is_alive():
             if task.timeout_s is not None and elapsed > task.timeout_s:
                 # a result may have raced in just before the deadline
                 try:
-                    worker_id, r_index, kind, payload, wall = \
+                    worker_id, r_index, kind, payload, wall, span = \
                         result_q.get_nowait()
                 except queue_mod.Empty:
                     pass
                 else:
                     if r_index == index:
                         self._finish(worker, self._from_message(
-                            task, kind, payload, wall), results, index)
+                            task, kind, payload, wall, span),
+                            results, index)
                         return False
                     self._resolve_foreign(worker_id, r_index, kind,
-                                          payload, wall, results)
+                                          payload, wall, span, results)
+                if self.health is not None:
+                    self.health.task_timed_out(
+                        worker.id, task.name, task.timeout_s)
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
                 self._finish(worker, TaskResult(
@@ -245,20 +328,23 @@ class SweepRunner:
         # the worker died without posting a result (crash, OOM-kill);
         # drain any result that raced with the death first
         try:
-            worker_id, r_index, kind, payload, wall = \
+            worker_id, r_index, kind, payload, wall, span = \
                 result_q.get_nowait()
         except queue_mod.Empty:
             pass
         else:
             if r_index == index:
                 self._finish(worker, self._from_message(
-                    task, kind, payload, wall), results, index)
+                    task, kind, payload, wall, span), results, index)
                 worker.process.join(timeout=1.0)
                 return True
             # a different worker's result: resolve it out of band
             self._resolve_foreign(worker_id, r_index, kind, payload,
-                                  wall, results)
+                                  wall, span, results)
         worker.process.join(timeout=1.0)
+        if self.health is not None:
+            self.health.worker_died(worker.id, task.name,
+                                    exitcode=worker.process.exitcode)
         self._finish(worker, TaskResult(
             name=task.name, ok=False,
             error=(
@@ -270,22 +356,23 @@ class SweepRunner:
         return True
 
     @staticmethod
-    def _from_message(task: Task, kind: str, payload, wall: float
-                      ) -> TaskResult:
+    def _from_message(task: Task, kind: str, payload, wall: float,
+                      span: Optional[dict] = None) -> TaskResult:
         if kind == "ok":
             return TaskResult(name=task.name, ok=True, value=payload,
-                              wall_s=wall, seed=task.seed)
+                              wall_s=wall, seed=task.seed, span=span)
         return TaskResult(name=task.name, ok=False, error=payload,
-                          wall_s=wall, seed=task.seed)
+                          wall_s=wall, seed=task.seed, span=span)
 
     def _resolve_foreign(self, worker_id, index, kind, payload, wall,
-                         results) -> None:
+                         span, results) -> None:
         for other in self._workers:
             if other.id == worker_id and other.busy is not None:
-                o_index, o_task, _ = other.busy
+                o_index, o_task, _started, _wait = other.busy
                 if o_index == index:
                     self._finish(other, self._from_message(
-                        o_task, kind, payload, wall), results, o_index)
+                        o_task, kind, payload, wall, span),
+                        results, o_index)
                 return
 
     # -- driver ------------------------------------------------------------
@@ -313,31 +400,41 @@ class SweepRunner:
             self.degraded = True
             return [self._run_serial(t) for t in tasks]
 
+        if self.health is not None:
+            self.health.pool_started(len(self._workers))
         pending = list(enumerate(tasks))
         next_worker_id = len(self._workers)
+        sweep_t0 = time.perf_counter()
         try:
             while pending or any(w.busy for w in self._workers):
                 # hand a task to every idle worker
                 for worker in self._workers:
                     if worker.busy is None and pending:
                         index, task = pending.pop(0)
-                        worker.busy = (index, task,
-                                       time.perf_counter())
+                        now = time.perf_counter()
+                        queue_wait = now - sweep_t0
+                        worker.busy = (index, task, now, queue_wait)
+                        if self.health is not None:
+                            self.health.task_assigned(
+                                worker.id, task.name, queue_wait)
                         worker.task_q.put(
-                            (index, task.spec, task.seed)
+                            (index, task.spec, task.seed, self._ctx())
                         )
                 busy = [w for w in self._workers if w.busy]
                 if not busy:
                     continue
                 # wait for one result (or a poll tick for timeouts)
                 try:
-                    worker_id, index, kind, payload, wall = \
+                    worker_id, index, kind, payload, wall, span = \
                         result_q.get(timeout=self.poll_interval_s)
                 except queue_mod.Empty:
                     pass
                 else:
                     self._resolve_foreign(worker_id, index, kind,
-                                          payload, wall, results)
+                                          payload, wall, span, results)
+                if self.health is not None:
+                    self.health.heartbeat(pending=len(pending),
+                                          workers=len(self._workers))
                 # sweep for timeouts and dead workers
                 respawn: list[_Worker] = []
                 for worker in self._workers:
@@ -353,6 +450,9 @@ class SweepRunner:
                     next_worker_id += 1
                     if replacement is not None:
                         self._workers.append(replacement)
+                        if self.health is not None:
+                            self.health.worker_respawned(
+                                replacement.id)
                 if not self._workers:
                     # cannot respawn: finish the remainder serially
                     self.degraded = True

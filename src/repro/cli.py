@@ -195,8 +195,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sampler = _start_sampler(kernel, args.sample_ms) if want_metrics \
         else None
     program = _make_program(args.workload, args, args.p)
-    result = run_program(kernel, program)
-    kernel.tracer.close_sinks()
+    try:
+        from .obs import span as obs_span
+
+        with obs_span("run.simulate", workload=args.workload,
+                      machine=args.machine, p=args.p) as sp:
+            result = run_program(kernel, program)
+            sp.attrs["sim_time_ms"] = round(result.sim_time_ms, 6)
+    finally:
+        # a crashing run must still flush its trace sinks: a valid,
+        # truncated trace beats a silently-buffered empty one
+        kernel.tracer.close_sinks()
     print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
           f"on {args.p} of {args.machine} processors")
     print()
@@ -449,12 +458,19 @@ def _cmd_record(args: argparse.Namespace) -> int:
         spec["defrost"] = False
     if args.defrost_period_ms is not None:
         spec["defrost_period"] = args.defrost_period_ms * 1e6
+    from .obs import span as obs_span
+
     try:
-        bundle, result = record_spec(spec)
+        with obs_span("record.simulate", workload=args.workload,
+                      machine=args.machine) as sp:
+            bundle, result = record_spec(spec)
+            sp.attrs["ops"] = bundle.n_ops
+            sp.attrs["sim_time_ms"] = round(result.sim_time_ms, 6)
     except (TraceError, ValueError) as exc:
         print(f"repro record: {exc}")
         return 2
-    path = save_trace(bundle, args.out or f"{args.workload}.trace")
+    with obs_span("record.save"):
+        path = save_trace(bundle, args.out or f"{args.workload}.trace")
     print(f"{args.workload}: {result.sim_time_ms:.2f} ms simulated on "
           f"{args.p} of {args.machine} processors")
     print(f"recorded {bundle.n_ops} ops on {bundle.n_threads} threads")
@@ -499,20 +515,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print("repro replay: --fast is approximate; --check needs "
               "exact mode")
         return 2
+    from .obs import span as obs_span
+
     try:
-        result = replay_trace(
-            args.trace,
-            policy=policy,
-            policy_args=policy_args,
-            defrost=args.defrost,
-            defrost_period=(
-                args.defrost_period_ms * 1e6
-                if args.defrost_period_ms is not None else None
-            ),
-            params=params or None,
-            check_expected=args.check,
-            mode="fast" if args.fast else "exact",
-        )
+        with obs_span("replay.run", trace=args.trace,
+                      mode="fast" if args.fast else "exact",
+                      policy=policy) as sp:
+            result = replay_trace(
+                args.trace,
+                policy=policy,
+                policy_args=policy_args,
+                defrost=args.defrost,
+                defrost_period=(
+                    args.defrost_period_ms * 1e6
+                    if args.defrost_period_ms is not None else None
+                ),
+                params=params or None,
+                check_expected=args.check,
+                mode="fast" if args.fast else "exact",
+            )
+            sp.attrs["events_executed"] = result.events_executed
+            sp.attrs["sim_time_ms"] = round(result.sim_time_ms, 6)
     except TraceError as exc:
         print(f"repro replay: {exc}")
         return 2
@@ -534,9 +557,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from .policy import TuneError, dumps_tuned, tune
     from .replay import TraceError
 
+    from .obs import span as obs_span
+
     try:
-        doc = tune(args.trace, policy=args.policy,
-                   max_pages=args.max_pages)
+        with obs_span("tune.run", trace=args.trace,
+                      policy=args.policy) as sp:
+            doc = tune(args.trace, policy=args.policy,
+                       max_pages=args.max_pages)
+            sp.attrs["trials"] = len(doc["trials"])
+            sp.attrs["improvement_pct"] = doc["improvement_pct"]
     except (TuneError, TraceError) as exc:
         print(f"repro tune: {exc}")
         return 2
@@ -680,9 +709,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.update:
         # the one-verb snapshot-regeneration path: the committed
         # BENCH_smoke.json is always the smoke scale of every target
-        if args.quick or args.full:
+        if args.quick or args.full \
+                or (args.scale and args.scale != "smoke"):
             print("repro bench: --update regenerates the committed "
-                  "smoke snapshot; drop --quick/--full")
+                  "smoke snapshot; drop --quick/--full/--scale")
             return 2
         if args.filter:
             print("repro bench: --update writes the all-target "
@@ -691,7 +721,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         args.smoke = True
         if not args.snapshot:
             args.snapshot = "BENCH_smoke.json"
-    scale = "full" if args.full else ("smoke" if args.smoke else "quick")
+    scale = args.scale or (
+        "full" if args.full else ("smoke" if args.smoke else "quick")
+    )
 
     def progress(result):
         status = "ok" if result.ok else (
@@ -711,6 +743,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             base_seed=args.base_seed,
             timeout_s=args.timeout,
             progress=progress if not args.quiet else None,
+            profile_wall=args.profile_wall,
         )
     except ValueError as exc:
         print(f"repro bench: {exc}")
@@ -728,15 +761,122 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{failed} failed, {wall:.1f}s wall "
           f"(jobs={args.jobs}"
           + (", degraded to serial" if runner.degraded else "") + ")")
+    health = getattr(runner, "health", None)
+    if health is not None:
+        notable = {k: v for k, v in health.summary().items()
+                   if k != "tasks" and v}
+        if notable:
+            print("pool health: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(notable.items())))
     for path in written:
         if path.suffix == ".json":
             print(f"  wrote {path}")
+    if args.profile_wall:
+        from .obs import format_wall_profile
+
+        for name, doc in sorted(docs.items()):
+            profiles = doc.get("wall_profile")
+            if not profiles:
+                continue
+            print()
+            for pname, table in profiles["points"].items():
+                print(format_wall_profile(f"{name}::{pname}", table))
     if problems:
         print("\nschema problems:")
         for problem in problems:
             print(f"  {problem}")
         return 1
+    if args.compare:
+        from .obs import TrendError, compare_targets, load_perf_doc, \
+            render_trend
+
+        try:
+            baseline = load_perf_doc(args.compare)
+            verdict = compare_targets(
+                baseline,
+                {"source": "<this run>", "scale": scale,
+                 "targets": docs},
+            )
+        except TrendError as exc:
+            print(f"repro bench: --compare: {exc}")
+            return 2
+        print()
+        print(render_trend(verdict))
+        if not verdict["ok"]:
+            return 1
     return 1 if failed else 0
+
+
+def _cmd_obs_trend(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import (
+        DEFAULT_MIN_WALL_S,
+        DEFAULT_WALL_TOLERANCE,
+        TrendError,
+        render_trend,
+        trend_series,
+    )
+
+    tolerance = args.wall_tolerance if args.wall_tolerance is not None \
+        else DEFAULT_WALL_TOLERANCE
+    min_wall = args.min_wall_s if args.min_wall_s is not None \
+        else DEFAULT_MIN_WALL_S
+    try:
+        doc = trend_series(
+            args.files,
+            wall_tolerance=tolerance,
+            min_wall_s=min_wall,
+        )
+    except TrendError as exc:
+        print(f"repro obs trend: {exc}")
+        return 2
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+    if args.format == "json":
+        sys.stdout.write(text)
+    else:
+        print(render_trend(doc))
+    return 0 if doc["ok"] else 1
+
+
+def _cmd_obs_ledger(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        LedgerError,
+        read_ledger,
+        strip_wall_ledger,
+        summarize_ledger,
+        validate_ledger,
+    )
+
+    try:
+        records = read_ledger(args.path)
+    except OSError as exc:
+        print(f"repro obs ledger: cannot read {args.path}: "
+              f"{exc.strerror or exc}")
+        return 2
+    except LedgerError as exc:
+        print(f"repro obs ledger: {exc}")
+        return 2
+    problems = validate_ledger(records)
+    if args.strip_wall:
+        # the rerun-comparable view: wall-clock fields dropped, spans in
+        # sid order -- byte-identical across runs of the same command
+        for record in strip_wall_ledger(records):
+            sys.stdout.write(json.dumps(
+                record, sort_keys=True, separators=(",", ":")) + "\n")
+    else:
+        print(summarize_ledger(records))
+    if problems:
+        print(f"\n{len(problems)} ledger problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    return 0
 
 
 def _cmd_check_invariants(args: argparse.Namespace) -> int:
@@ -969,6 +1109,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {_version()}")
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="write a repro-events/1 run ledger (span/event JSONL) of "
+        "this invocation to PATH; the REPRO_LEDGER environment "
+        "variable does the same (inspect with `repro obs ledger`)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="the section 4.1 cost-model table")
@@ -1245,6 +1390,9 @@ def build_parser() -> argparse.ArgumentParser:
     scale_group.add_argument(
         "--smoke", action="store_true",
         help="tiny problem sizes (test-suite use)")
+    scale_group.add_argument(
+        "--scale", default=None, metavar="SCALE",
+        help="scale by name: smoke, quick or full")
     be.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = serial, the default)")
     be.add_argument("--filter", default=None, metavar="PAT",
@@ -1268,7 +1416,55 @@ def build_parser() -> argparse.ArgumentParser:
                     "(default depends on scale)")
     be.add_argument("-q", "--quiet", action="store_true",
                     help="suppress the per-point progress lines")
+    be.add_argument("--compare", default=None, metavar="BASELINE",
+                    help="after the sweep, compare against a baseline "
+                    "(snapshot file, BENCH_*.json or results dir) and "
+                    "exit 1 on drift or wall regression")
+    be.add_argument("--profile-wall", type=int, default=0, metavar="N",
+                    help="cProfile every point and embed the slowest N "
+                    "per target in the BENCH document (wall-clock "
+                    "data: stripped from snapshots)")
     be.set_defaults(fn=_cmd_bench)
+
+    ob = sub.add_parser(
+        "obs",
+        help="fleet observability: inspect run ledgers and gate on "
+        "the perf trajectory",
+    )
+    obsub = ob.add_subparsers(dest="obs_mode", required=True)
+
+    obt = obsub.add_parser(
+        "trend",
+        help="compare a series of bench outputs (snapshots, "
+        "BENCH_*.json or results dirs) and emit repro-trend/1 "
+        "verdicts; exit 1 on drift or wall regression",
+    )
+    obt.add_argument("files", nargs="+",
+                     help="two or more bench outputs, oldest first")
+    obt.add_argument("--wall-tolerance", type=float,
+                     default=None, metavar="R",
+                     help="wall ratio above R is a regression "
+                     "(default 1.5)")
+    obt.add_argument("--min-wall-s", type=float, default=None,
+                     metavar="S",
+                     help="baseline walls under S seconds are noise, "
+                     "never judged (default 0.05)")
+    obt.add_argument("--format", choices=("text", "json"),
+                     default="text", help="report format")
+    obt.add_argument("-o", "--out", default=None, metavar="PATH",
+                     help="also write the verdict document to PATH")
+    obt.set_defaults(fn=_cmd_obs_trend)
+
+    obl = obsub.add_parser(
+        "ledger",
+        help="validate and summarize a repro-events/1 run ledger",
+    )
+    obl.add_argument("path", help="ledger .jsonl file (from --ledger)")
+    obl.add_argument("--strip-wall", action="store_true",
+                     help="print the rerun-comparable records (wall "
+                     "fields dropped, sid order) as JSON Lines "
+                     "instead of the span tree")
+    obl.set_defaults(fn=_cmd_obs_ledger)
 
     ck = sub.add_parser(
         "check",
@@ -1401,11 +1597,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace,
+              argv: Optional[Sequence[str]]) -> int:
+    """Run the verb, under a run-ledger root span when one is asked
+    for (``--ledger PATH`` or the ``REPRO_LEDGER`` environment
+    variable).  The ledger is closed in a ``finally`` so a crashing
+    verb still leaves a valid, truncated ledger file."""
+    import os
+
+    destination = args.ledger or os.environ.get("REPRO_LEDGER")
+    if not destination:
+        return args.fn(args)
+    from .obs import RunLedger, set_ledger
+
+    ledger = RunLedger(
+        destination,
+        verb=args.command,
+        argv=[str(a) for a in
+              (argv if argv is not None else sys.argv[1:])],
+    )
+    set_ledger(ledger)
+    root = ledger.span(f"cli.{args.command}")
+    status = "error"
+    try:
+        code = args.fn(args)
+        status = "ok" if code == 0 else "error"
+        root.attrs["exit_code"] = code
+        return code
+    finally:
+        root.end(status=status)
+        ledger.close(status=status)
+        set_ledger(None)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        return _dispatch(args, argv)
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         return 0

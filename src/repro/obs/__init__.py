@@ -1,0 +1,87 @@
+"""Fleet observability: the run ledger, pool health and perf trends.
+
+Where ``repro.telemetry`` watches *one simulation from the inside*
+(protocol metrics, trace sinks, sim-time sampling), this package watches
+the *tooling fleet from the outside*:
+
+``ledger``
+    The ``repro-events/1`` span/event JSONL every CLI verb can emit
+    (``repro --ledger PATH <verb>``): root span per verb, nested spans
+    per pipeline stage, per-point spans from the bench worker pool with
+    context propagated across the process boundary.
+``health``
+    Worker-pool heartbeats, per-worker counters/gauges on the shared
+    metrics-registry machinery, and stall detection.
+``wallprof``
+    Opt-in cProfile capture of the slowest sweep points
+    (``repro bench --profile-wall N``).
+``trend``
+    The perf trajectory: ``repro obs trend`` / ``repro bench
+    --compare`` turn a series of ``BENCH_*.json`` documents into
+    noise-aware ``repro-trend/1`` regression verdicts, wired as a CI
+    gate.
+
+See the "Run ledger & perf trajectory" section of
+docs/OBSERVABILITY.md.
+"""
+
+from .health import PoolHealth, WALL_S_BUCKETS
+from .ledger import (
+    LEDGER_SCHEMA,
+    NULL_SPAN,
+    LedgerError,
+    RunLedger,
+    Span,
+    event,
+    get_ledger,
+    iter_spans,
+    read_ledger,
+    set_ledger,
+    span,
+    strip_wall,
+    strip_wall_ledger,
+    summarize_ledger,
+    validate_ledger,
+)
+from .trend import (
+    DEFAULT_MIN_WALL_S,
+    DEFAULT_WALL_TOLERANCE,
+    TREND_SCHEMA,
+    TrendError,
+    compare_targets,
+    load_perf_doc,
+    render_trend,
+    trend_series,
+)
+from .wallprof import format_wall_profile, profile_call, top_functions
+
+__all__ = [
+    "DEFAULT_MIN_WALL_S",
+    "DEFAULT_WALL_TOLERANCE",
+    "LEDGER_SCHEMA",
+    "LedgerError",
+    "NULL_SPAN",
+    "PoolHealth",
+    "RunLedger",
+    "Span",
+    "TREND_SCHEMA",
+    "TrendError",
+    "WALL_S_BUCKETS",
+    "compare_targets",
+    "event",
+    "format_wall_profile",
+    "get_ledger",
+    "iter_spans",
+    "load_perf_doc",
+    "profile_call",
+    "read_ledger",
+    "render_trend",
+    "set_ledger",
+    "span",
+    "strip_wall",
+    "strip_wall_ledger",
+    "summarize_ledger",
+    "top_functions",
+    "trend_series",
+    "validate_ledger",
+]

@@ -1,0 +1,459 @@
+"""The structured run ledger: ``repro-events/1`` span/event JSONL.
+
+Every CLI verb opens a *root span*; pipelines nest child spans under it
+(``bench.sweep`` -> ``bench.point``, ``record.simulate`` ->
+``record.save``, ...), and point events mark things that happen at an
+instant (a worker respawn, a stall warning).  The ledger is the fleet
+counterpart of the per-simulation trace: where ``--trace-out`` records
+what the *simulated machine* did in simulated nanoseconds, the ledger
+records what the *tooling* did in wall-clock seconds -- which verb ran,
+how the sweep sharded across workers, where the wall time went.
+
+Record shapes (one sorted-key JSON object per line)::
+
+    {"record":"meta","schema":"repro-events/1","verb":"bench",
+     "argv":["--scale","smoke"],"wall":{"pid":123,"t0_s":...}}
+    {"record":"span","sid":2,"parent":1,"name":"bench.point",
+     "attrs":{"task":"fig1_gauss::p=4","ok":true},
+     "status":"ok","wall":{"t0_s":...,"dur_s":0.41,"worker":0}}
+    {"record":"event","sid":9,"parent":1,"name":"pool.respawn",
+     "attrs":{"worker":2},"wall":{"t_s":...}}
+    {"record":"close","status":"ok","spans":7,"events":2,
+     "wall":{"dur_s":1.93}}
+
+Determinism contract: **everything outside the ``wall`` object derives
+from the work itself** (span names, task names, seeds, counts, sim-time
+figures), so two runs of the same deterministic command produce ledgers
+that are byte-identical after :func:`strip_wall` -- the same contract
+``BENCH_*.json`` documents make via ``strip_wall_clock``.  All
+wall-clock-dependent values (timestamps, durations, pids, worker
+assignment, queue waits) live under ``wall``.
+
+Crash behaviour: records are flushed line-by-line, and span records are
+written when the span *ends* -- so an interrupted run leaves a valid,
+truncated-but-parseable file, and :meth:`RunLedger.close` (call it from
+a ``finally``) ends any still-open spans with ``status: "aborted"``.
+:func:`read_ledger` additionally tolerates a torn final line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional, Union
+
+#: schema tag of the run ledger
+LEDGER_SCHEMA = "repro-events/1"
+
+#: the per-record key holding every wall-clock-dependent field
+WALL_KEY = "wall"
+
+
+class LedgerError(ValueError):
+    """A malformed ledger file or misuse of the ledger API."""
+
+
+class Span:
+    """One timed, named, nestable unit of work.
+
+    Use as a context manager (the usual way) or call :meth:`end`
+    explicitly.  An exception ending the span records
+    ``status: "error"`` plus the exception repr, then propagates.
+    """
+
+    __slots__ = ("ledger", "sid", "parent", "name", "attrs", "wall",
+                 "_t0", "_wall_t0", "closed")
+
+    def __init__(self, ledger: "RunLedger", sid: int,
+                 parent: Optional[int], name: str,
+                 attrs: Optional[dict] = None) -> None:
+        self.ledger = ledger
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.attrs: dict = dict(attrs or {})
+        #: extra wall-clock fields merged into the span's ``wall`` object
+        self.wall: dict = {}
+        self._t0 = time.perf_counter()
+        self._wall_t0 = time.time()
+        self.closed = False
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point event parented to this span."""
+        self.ledger.event(name, parent=self.sid, **attrs)
+
+    def end(self, status: str = "ok") -> None:
+        if self.closed:
+            return
+        self.closed = True
+        wall = {
+            "t0_s": round(self._wall_t0, 6),
+            "dur_s": round(time.perf_counter() - self._t0, 6),
+        }
+        wall.update(self.wall)
+        self.ledger._write_span(self, status, wall)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc_type is None:
+            self.end()
+        else:
+            self.attrs["error"] = repr(exc)
+            self.end(status="error")
+
+
+class _NullSpan:
+    """The no-op span handed out when no ledger is active: every method
+    exists and does nothing, so instrumented code never branches."""
+
+    sid = None
+
+    @property
+    def attrs(self) -> dict:
+        # a fresh dict per access: writes are discarded, never shared
+        return {}
+
+    @property
+    def wall(self) -> dict:
+        return {}
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def end(self, status: str = "ok") -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class RunLedger:
+    """Writes one ``repro-events/1`` JSONL ledger, span by span.
+
+    Spans form a stack: :meth:`span` without an explicit ``parent``
+    nests under the innermost open span, which is what CLI pipelines
+    want (root verb span -> stage spans -> per-point spans).
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, Path, IO[str]],
+        verb: str = "",
+        argv: Optional[list] = None,
+    ) -> None:
+        if hasattr(destination, "write"):
+            self.stream: IO[str] = destination  # type: ignore[assignment]
+            self._owns = False
+        else:
+            path = Path(destination)
+            if path.parent and not path.parent.exists():
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self.stream = open(path, "w")
+            self._owns = True
+        self.verb = verb
+        self._next_sid = 1
+        self._stack: list[Span] = []
+        self.spans = 0
+        self.events = 0
+        self.closed = False
+        self._t0 = time.perf_counter()
+        self._write({
+            "record": "meta",
+            "schema": LEDGER_SCHEMA,
+            "verb": verb,
+            "argv": list(argv or []),
+            WALL_KEY: {"pid": os.getpid(),
+                       "t0_s": round(time.time(), 6)},
+        })
+
+    # -- record output ------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        self.stream.write(json.dumps(
+            record, sort_keys=True, separators=(",", ":"),
+        ))
+        self.stream.write("\n")
+        # line-at-a-time flush: a crash mid-run still leaves a valid,
+        # truncated-but-parseable ledger (spans are coarse, so this is
+        # a few dozen flushes per verb, not per simulated event)
+        self.stream.flush()
+
+    def _write_span(self, span: Span, status: str, wall: dict) -> None:
+        if span in self._stack:
+            self._stack.remove(span)
+        self.spans += 1
+        record = {
+            "record": "span",
+            "sid": span.sid,
+            "parent": span.parent,
+            "name": span.name,
+            "status": status,
+            WALL_KEY: wall,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+
+    # -- the span API -------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span (new spans nest under it)."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, parent: Optional[int] = None,
+             **attrs: Any) -> Span:
+        """Open a nested span; close it via ``with`` or :meth:`end`."""
+        if parent is None and self._stack:
+            parent = self._stack[-1].sid
+        span = Span(self, self._next_sid, parent, name, attrs)
+        self._next_sid += 1
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, parent: Optional[int] = None,
+              wall: Optional[dict] = None, **attrs: Any) -> None:
+        """Record a point event (no duration)."""
+        if parent is None and self._stack:
+            parent = self._stack[-1].sid
+        self.events += 1
+        record: dict = {
+            "record": "event",
+            "sid": self._next_sid,
+            "parent": parent,
+            "name": name,
+            WALL_KEY: {"t_s": round(time.time(), 6),
+                       **(wall or {})},
+        }
+        self._next_sid += 1
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+    def append_span(self, name: str, attrs: dict, wall: dict,
+                    parent: Optional[int] = None,
+                    status: str = "ok") -> None:
+        """Write a span whose timing was measured elsewhere -- the bench
+        worker pool uses this to ledger per-point spans measured inside
+        worker processes (the propagated context supplies ``parent``)."""
+        if parent is None and self._stack:
+            parent = self._stack[-1].sid
+        self.spans += 1
+        record = {
+            "record": "span",
+            "sid": self._next_sid,
+            "parent": parent,
+            "name": name,
+            "status": status,
+            WALL_KEY: dict(wall),
+        }
+        self._next_sid += 1
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._write(record)
+
+    def close(self, status: str = "ok") -> None:
+        """End open spans (as ``aborted``), write the close record and
+        release the stream.  Safe to call twice."""
+        if self.closed:
+            return
+        while self._stack:
+            self._stack[-1].end(status="aborted")
+        self._write({
+            "record": "close",
+            "status": status,
+            "spans": self.spans,
+            "events": self.events,
+            WALL_KEY: {
+                "dur_s": round(time.perf_counter() - self._t0, 6),
+            },
+        })
+        self.closed = True
+        self.stream.flush()
+        if self._owns:
+            self.stream.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.close(status="ok" if exc_type is None else "error")
+
+
+# -- the ambient ledger --------------------------------------------------------
+
+#: the process-wide active ledger (the CLI sets it; instrumented code
+#: reaches it through :func:`span` / :func:`event`, which are no-ops
+#: when nothing is active)
+_CURRENT: Optional[RunLedger] = None
+
+
+def set_ledger(ledger: Optional[RunLedger]) -> Optional[RunLedger]:
+    """Install ``ledger`` as the ambient ledger; returns the previous
+    one so callers can restore it."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = ledger
+    return previous
+
+
+def get_ledger() -> Optional[RunLedger]:
+    return _CURRENT
+
+
+def span(name: str, **attrs: Any):
+    """A span on the ambient ledger, or a shared no-op span."""
+    if _CURRENT is None:
+        return NULL_SPAN
+    return _CURRENT.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """A point event on the ambient ledger (no-op without one)."""
+    if _CURRENT is not None:
+        _CURRENT.event(name, **attrs)
+
+
+# -- reading and validation ----------------------------------------------------
+
+def read_ledger(path: Union[str, Path]) -> list[dict]:
+    """Parse a ledger file into its records.
+
+    A torn final line (the process died mid-write) is tolerated and
+    dropped; a malformed line anywhere else raises :class:`LedgerError`.
+    """
+    text = Path(path).read_text()
+    records: list[dict] = []
+    lines = text.split("\n")
+    # drop the trailing empty string a well-formed file ends with
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn final line: a truncated-but-valid ledger
+            raise LedgerError(
+                f"{path}:{lineno}: not a JSON record"
+            ) from None
+    return records
+
+
+def validate_ledger(records: list[dict]) -> list[str]:
+    """Structural problems with a parsed ledger (empty list == valid)."""
+    problems: list[str] = []
+    if not records:
+        return ["ledger is empty"]
+    head = records[0]
+    if not isinstance(head, dict) or head.get("record") != "meta":
+        problems.append("first record must be the 'meta' record")
+    elif head.get("schema") != LEDGER_SCHEMA:
+        problems.append(
+            f"meta.schema: expected {LEDGER_SCHEMA!r}, "
+            f"got {head.get('schema')!r}"
+        )
+    sids: set = set()
+    for i, record in enumerate(records):
+        where = f"records[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: expected object")
+            continue
+        kind = record.get("record")
+        if kind not in ("meta", "span", "event", "close"):
+            problems.append(f"{where}: unknown record kind {kind!r}")
+            continue
+        if kind in ("span", "event"):
+            if not isinstance(record.get("sid"), int):
+                problems.append(f"{where}: missing integer 'sid'")
+            else:
+                if record["sid"] in sids:
+                    problems.append(
+                        f"{where}: duplicate sid {record['sid']}"
+                    )
+                sids.add(record["sid"])
+            if not isinstance(record.get("name"), str):
+                problems.append(f"{where}: missing 'name'")
+            if not isinstance(record.get(WALL_KEY), dict):
+                problems.append(f"{where}: missing '{WALL_KEY}' object")
+        parent = record.get("parent")
+        if parent is not None and not isinstance(parent, int):
+            problems.append(f"{where}: 'parent' must be an int or null")
+    return problems
+
+
+def strip_wall(record: dict) -> dict:
+    """A copy of one record with every wall-clock-dependent field
+    removed; what remains must be byte-stable across reruns of the same
+    deterministic command."""
+    return {k: v for k, v in record.items() if k != WALL_KEY}
+
+
+def strip_wall_ledger(records: list[dict]) -> list[dict]:
+    """Rerun-comparable view of a whole ledger: wall fields dropped,
+    spans in sid order (parallel sweeps complete, and therefore ledger,
+    points in wall-clock order; sids are assigned deterministically)."""
+    stripped = [strip_wall(r) for r in records]
+    stripped.sort(
+        key=lambda r: (0 if r.get("record") == "meta" else
+                       2 if r.get("record") == "close" else 1,
+                       r.get("sid", 0))
+    )
+    return stripped
+
+
+def iter_spans(records: list[dict]) -> Iterator[dict]:
+    for record in records:
+        if record.get("record") == "span":
+            yield record
+
+
+def summarize_ledger(records: list[dict]) -> str:
+    """A human-readable ledger report: the span tree with durations,
+    event counts and the close status."""
+    meta = records[0] if records else {}
+    spans = list(iter_spans(records))
+    events = [r for r in records if r.get("record") == "event"]
+    close = next((r for r in records if r.get("record") == "close"),
+                 None)
+    lines = [
+        f"repro-events/1 ledger: verb={meta.get('verb') or '?'}  "
+        f"{len(spans)} span(s), {len(events)} event(s)"
+        + (f", status={close['status']}" if close else " (no close "
+           "record: the run was interrupted)")
+    ]
+    children: dict[Optional[int], list[dict]] = {}
+    for s in spans:
+        children.setdefault(s.get("parent"), []).append(s)
+    roots = [s for s in spans
+             if not any(p.get("sid") == s.get("parent") for p in spans)]
+
+    def walk(span: dict, depth: int) -> None:
+        wall = span.get(WALL_KEY, {})
+        dur = wall.get("dur_s")
+        dur_text = f"{dur:9.3f}s" if isinstance(dur, (int, float)) \
+            else "        ?"
+        status = span.get("status", "?")
+        mark = "" if status == "ok" else f"  [{status}]"
+        lines.append(
+            f"  {dur_text}  {'  ' * depth}{span.get('name')}{mark}"
+        )
+        for child in children.get(span.get("sid"), []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    for e in events:
+        lines.append(f"      event  {e.get('name')} "
+                     f"{e.get('attrs', {})}")
+    return "\n".join(lines)

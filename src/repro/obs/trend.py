@@ -1,0 +1,341 @@
+"""Perf-trajectory tracking: compare BENCH documents across runs.
+
+``repro obs trend A B [C ...]`` (and ``repro bench --compare BASELINE``)
+consume a series of benchmark outputs -- combined
+``repro-bench-snapshot/1`` files, single ``repro-bench/1`` documents, or
+results directories of ``BENCH_*.json`` -- and emit a ``repro-trend/1``
+verdict document comparing each consecutive pair:
+
+* **determinism drift** -- the sim-time-derived fields (simulated time,
+  counters, derived tables) are compared for *equality* after
+  ``strip_wall_clock``: the simulator is seeded and byte-deterministic,
+  so any difference is a behaviour change, not noise.  Sim-time fields
+  are thereby excluded from the noise-aware deltas below.
+* **wall-clock regressions** -- ``wall_clock_s`` per target, ``wall_s``
+  and events/second (``events_executed / wall_s``) per point, compared
+  with a noise-aware tolerance: a regression is flagged only when the
+  baseline ran for at least ``min_wall_s`` (tiny points are all noise)
+  and the ratio exceeds ``wall_tolerance``.  Committed snapshots have
+  their wall fields stripped, so comparisons against them skip this
+  layer and check drift only.
+
+The gate passes (exit 0) when no pair drifted or regressed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..bench.schema import SCHEMA as BENCH_SCHEMA
+from ..bench.schema import strip_wall_clock
+from ..bench.snapshot import SNAPSHOT_SCHEMA
+
+#: schema tag of the trend verdict document
+TREND_SCHEMA = "repro-trend/1"
+
+#: a current/baseline wall ratio above this is a regression (and below
+#: its inverse, an improvement); chosen loose enough that CI runner
+#: noise passes and a 2x slowdown reliably fails
+DEFAULT_WALL_TOLERANCE = 1.5
+
+#: baseline walls shorter than this are pure noise: never judged
+DEFAULT_MIN_WALL_S = 0.05
+
+#: cap on reported drift paths per target
+_MAX_DIFFS = 8
+
+
+class TrendError(ValueError):
+    """Unreadable or non-comparable trend inputs."""
+
+
+# -- input normalization -------------------------------------------------------
+
+def load_perf_doc(path: Union[str, Path]) -> dict:
+    """Normalize one trend input to ``{"source", "scale", "targets"}``.
+
+    Accepts a ``repro-bench-snapshot/1`` file, a single ``repro-bench/1``
+    document, or a directory containing ``BENCH_*.json`` files.
+    """
+    path = Path(path)
+    if path.is_dir():
+        targets: dict = {}
+        scale = None
+        for file in sorted(path.glob("BENCH_*.json")):
+            doc = _load_json(file)
+            if doc.get("schema") != BENCH_SCHEMA:
+                continue
+            targets[doc["target"]] = doc
+            scale = doc.get("scale", scale)
+        if not targets:
+            raise TrendError(f"{path}: no BENCH_*.json documents inside")
+        return {"source": str(path), "scale": scale, "targets": targets}
+    doc = _load_json(path)
+    if not isinstance(doc, dict):
+        raise TrendError(f"{path}: expected a JSON object")
+    schema = doc.get("schema")
+    if schema == SNAPSHOT_SCHEMA:
+        return {
+            "source": str(path),
+            "scale": doc.get("scale"),
+            "targets": dict(doc.get("targets", {})),
+        }
+    if schema == BENCH_SCHEMA:
+        return {
+            "source": str(path),
+            "scale": doc.get("scale"),
+            "targets": {doc["target"]: doc},
+        }
+    raise TrendError(
+        f"{path}: expected schema {SNAPSHOT_SCHEMA!r} or "
+        f"{BENCH_SCHEMA!r}, got {schema!r}"
+    )
+
+
+def _load_json(path: Path):
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TrendError(
+            f"cannot read {path}: {exc.strerror or exc}"
+        ) from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TrendError(f"{path}: not JSON ({exc.msg})") from None
+
+
+# -- deep equality with paths --------------------------------------------------
+
+def _diff_paths(a, b, path: str, out: list[str]) -> None:
+    if len(out) >= _MAX_DIFFS:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                out.append(f"{path}.{key}: added")
+            elif key not in b:
+                out.append(f"{path}.{key}: removed")
+            else:
+                _diff_paths(a[key], b[key], f"{path}.{key}", out)
+            if len(out) >= _MAX_DIFFS:
+                return
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} -> {len(b)}")
+            return
+        for i, (ai, bi) in enumerate(zip(a, b)):
+            _diff_paths(ai, bi, f"{path}[{i}]", out)
+            if len(out) >= _MAX_DIFFS:
+                return
+    elif a != b:
+        out.append(f"{path}: {a!r} -> {b!r}")
+
+
+# -- pairwise comparison -------------------------------------------------------
+
+def _wall_verdict(base: Optional[float], cur: Optional[float],
+                  tolerance: float, min_wall_s: float) -> dict:
+    """Noise-aware verdict on one wall-clock figure pair."""
+    if not isinstance(base, (int, float)) \
+            or not isinstance(cur, (int, float)):
+        return {"verdict": "skipped"}
+    if base < min_wall_s:
+        return {"baseline_s": base, "current_s": cur,
+                "verdict": "below_noise_floor"}
+    ratio = cur / base if base else float("inf")
+    verdict = "ok"
+    if ratio > tolerance:
+        verdict = "regression"
+    elif ratio < 1.0 / tolerance:
+        verdict = "improvement"
+    return {"baseline_s": base, "current_s": cur,
+            "ratio": round(ratio, 4), "verdict": verdict}
+
+
+def _events_per_sec(point: dict) -> Optional[float]:
+    metrics = point.get("metrics")
+    wall = point.get("wall_s")
+    if not isinstance(metrics, dict) or not isinstance(
+            wall, (int, float)) or wall <= 0:
+        return None
+    events = metrics.get("events_executed")
+    if not isinstance(events, (int, float)) or events <= 0:
+        return None
+    return events / wall
+
+
+def compare_targets(
+    baseline: dict,
+    current: dict,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> dict:
+    """Compare two normalized perf docs (see :func:`load_perf_doc`)."""
+    if baseline.get("scale") and current.get("scale") \
+            and baseline["scale"] != current["scale"]:
+        raise TrendError(
+            f"cannot compare scales: baseline is "
+            f"{baseline['scale']!r}, current is {current['scale']!r}"
+        )
+    base_targets = baseline["targets"]
+    cur_targets = current["targets"]
+    shared = sorted(set(base_targets) & set(cur_targets))
+    missing = sorted(set(base_targets) - set(cur_targets))
+    added = sorted(set(cur_targets) - set(base_targets))
+    targets: dict = {}
+    drifted: list[str] = []
+    regressions: list[str] = []
+    for name in shared:
+        base_doc = base_targets[name]
+        cur_doc = cur_targets[name]
+        diffs: list[str] = []
+        _diff_paths(strip_wall_clock(base_doc),
+                    strip_wall_clock(cur_doc), name, diffs)
+        if diffs:
+            drifted.append(name)
+        wall = _wall_verdict(base_doc.get("wall_clock_s"),
+                             cur_doc.get("wall_clock_s"),
+                             wall_tolerance, min_wall_s)
+        if wall["verdict"] == "regression":
+            regressions.append(f"{name}.wall_clock_s")
+        base_points = {p.get("name"): p
+                       for p in base_doc.get("points", [])
+                       if isinstance(p, dict)}
+        points: dict = {}
+        for point in cur_doc.get("points", []):
+            if not isinstance(point, dict):
+                continue
+            pname = point.get("name")
+            base_point = base_points.get(pname)
+            if base_point is None:
+                continue
+            p_wall = _wall_verdict(base_point.get("wall_s"),
+                                   point.get("wall_s"),
+                                   wall_tolerance, min_wall_s)
+            entry: dict = {"wall": p_wall}
+            if p_wall["verdict"] == "regression":
+                regressions.append(f"{name}::{pname}.wall_s")
+            base_eps = _events_per_sec(base_point)
+            cur_eps = _events_per_sec(point)
+            if base_eps is not None and cur_eps is not None \
+                    and isinstance(base_point.get("wall_s"),
+                                   (int, float)) \
+                    and base_point["wall_s"] >= min_wall_s:
+                ratio = base_eps / cur_eps if cur_eps else float("inf")
+                eps_verdict = "ok"
+                if ratio > wall_tolerance:
+                    eps_verdict = "regression"
+                    regressions.append(f"{name}::{pname}.events_per_s")
+                elif ratio < 1.0 / wall_tolerance:
+                    eps_verdict = "improvement"
+                entry["events_per_s"] = {
+                    "baseline": round(base_eps, 1),
+                    "current": round(cur_eps, 1),
+                    "slowdown": round(ratio, 4),
+                    "verdict": eps_verdict,
+                }
+            points[pname] = entry
+        targets[name] = {
+            "drift": diffs,
+            "wall": wall,
+            "points": points,
+        }
+    ok = not drifted and not regressions and not missing
+    return {
+        "schema": TREND_SCHEMA,
+        "baseline": baseline.get("source"),
+        "current": current.get("source"),
+        "scale": current.get("scale") or baseline.get("scale"),
+        "wall_tolerance": wall_tolerance,
+        "min_wall_s": min_wall_s,
+        "targets": targets,
+        "missing_targets": missing,
+        "added_targets": added,
+        "drifted": drifted,
+        "regressions": regressions,
+        "ok": ok,
+    }
+
+
+def trend_series(
+    paths: list,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> dict:
+    """Compare each consecutive pair in a series of trend inputs."""
+    if len(paths) < 2:
+        raise TrendError("trend needs at least two documents to compare")
+    docs = [load_perf_doc(p) for p in paths]
+    steps = [
+        compare_targets(docs[i], docs[i + 1],
+                        wall_tolerance=wall_tolerance,
+                        min_wall_s=min_wall_s)
+        for i in range(len(docs) - 1)
+    ]
+    return {
+        "schema": TREND_SCHEMA,
+        "series": [d["source"] for d in docs],
+        "steps": steps,
+        "ok": all(step["ok"] for step in steps),
+    }
+
+
+# -- rendering -----------------------------------------------------------------
+
+def render_trend(doc: dict) -> str:
+    """Human-readable report for one comparison or a whole series."""
+    steps = doc.get("steps", [doc])
+    lines: list[str] = []
+    for step in steps:
+        lines.append(
+            f"{step.get('baseline')} -> {step.get('current')} "
+            f"[scale={step.get('scale')}]"
+        )
+        for name in step.get("missing_targets", []):
+            lines.append(f"  {name}: MISSING from the newer run")
+        for name, target in step.get("targets", {}).items():
+            wall = target["wall"]
+            if "ratio" in wall:
+                wall_text = (
+                    f"wall {wall['baseline_s']:.2f}s -> "
+                    f"{wall['current_s']:.2f}s "
+                    f"(x{wall['ratio']:.2f}, {wall['verdict']})"
+                )
+            else:
+                wall_text = f"wall {wall['verdict']}"
+            drift_text = (
+                f"{len(target['drift'])} drifted field(s)"
+                if target["drift"] else "deterministic fields identical"
+            )
+            lines.append(f"  {name}: {drift_text}; {wall_text}")
+            for path in target["drift"]:
+                lines.append(f"    drift: {path}")
+            for pname, entry in target["points"].items():
+                eps = entry.get("events_per_s")
+                p_wall = entry["wall"]
+                if p_wall.get("verdict") == "regression" \
+                        or (eps and eps["verdict"] == "regression"):
+                    detail = (
+                        f"    {pname}: wall "
+                        f"{p_wall.get('baseline_s')}s -> "
+                        f"{p_wall.get('current_s')}s"
+                    )
+                    if eps:
+                        detail += (
+                            f", {eps['baseline']:.0f} -> "
+                            f"{eps['current']:.0f} events/s"
+                        )
+                    lines.append(detail + "  REGRESSION")
+        verdict = "ok" if step["ok"] else (
+            "REGRESSION" if step["regressions"] else "DRIFT"
+        )
+        summary = (
+            f"  => {verdict}: {len(step['drifted'])} drifted "
+            f"target(s), {len(step['regressions'])} wall "
+            f"regression(s)"
+        )
+        lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Opt-in wall-clock profiling of sweep points (``--profile-wall N``).
+
+The simulator's own profiler (``repro.profile``) attributes *simulated*
+nanoseconds; this module attributes *wall* seconds -- where does the
+Python interpreter actually spend its time when it simulates a point?
+That is the evidence the "next-generation engine core" roadmap item
+needs: the top-function tables below are what justifies (or refutes)
+replacing the event heap, batching word accounting, and so on.
+
+Each profiled point runs under :mod:`cProfile` in its worker process;
+the worker ships back a compact top-function table (not the raw stats
+object, which does not pickle usefully), and the bench runner embeds
+the tables of the slowest N points into the target's BENCH document
+under ``wall_profile`` -- a wall-clock field, stripped from committed
+snapshots exactly like ``wall_s``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = 10,
+) -> tuple[Any, dict]:
+    """Run ``fn(*args)`` under cProfile.
+
+    Returns ``(value, table)`` where ``table`` is the JSON-able
+    top-function summary from :func:`top_functions`.  Exceptions
+    propagate unprofiled -- a failing point reports its error, not a
+    stats table.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = fn(*args)
+    finally:
+        profiler.disable()
+    return value, top_functions(profiler, top=top)
+
+
+def top_functions(profiler: "cProfile.Profile", top: int = 10) -> dict:
+    """The hottest functions by cumulative wall time, as plain dicts."""
+    stats = pstats.Stats(profiler)
+    total_calls = int(stats.total_calls)  # type: ignore[attr-defined]
+    total_tt = float(stats.total_tt)  # type: ignore[attr-defined]
+    rows = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) \
+            in entries:
+        # skip the profiler's own frame noise
+        if funcname == "<built-in method builtins.exec>":
+            continue
+        short = filename.rsplit("/", 1)[-1]
+        rows.append({
+            "func": f"{short}:{lineno}({funcname})",
+            "calls": int(nc),
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+        if len(rows) >= top:
+            break
+    return {
+        "total_calls": total_calls,
+        "total_time_s": round(total_tt, 6),
+        "top": rows,
+    }
+
+
+def format_wall_profile(name: str, table: dict) -> str:
+    """One point's table as the text block the bench report embeds."""
+    lines = [
+        f"{name}: {table['total_time_s']:.3f}s wall, "
+        f"{table['total_calls']} calls",
+        f"  {'cumtime':>9} {'tottime':>9} {'calls':>9}  function",
+    ]
+    for row in table["top"]:
+        lines.append(
+            f"  {row['cumtime_s']:9.4f} {row['tottime_s']:9.4f} "
+            f"{row['calls']:9d}  {row['func']}"
+        )
+    return "\n".join(lines)

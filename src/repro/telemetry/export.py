@@ -33,13 +33,24 @@ from ..core.trace import EventKind, TraceEvent
 
 
 class TraceSink:
-    """Interface: receives events as they are recorded."""
+    """Interface: receives events as they are recorded.
+
+    Sinks are context managers: ``with JsonlTraceSink(path) as sink``
+    guarantees :meth:`close` runs even when the run raises, so a
+    crashing simulation still leaves a valid (truncated) trace file.
+    """
 
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def close(self) -> None:
         """Flush and finalize; further emits are undefined."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _open(destination: Union[str, Path, IO[str]]) -> tuple[IO[str], bool]:
@@ -60,10 +71,18 @@ class JsonlTraceSink(TraceSink):
         {"cpage":3,"detail":{...},"kind":"fault","proc":1,"time":81230}
     """
 
-    def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
+    def __init__(
+        self,
+        destination: Union[str, Path, IO[str]],
+        flush_every: int = 1000,
+    ) -> None:
         self.stream, self._owns = _open(destination)
         self.emitted = 0
         self.closed = False
+        #: flush after this many events (0 disables): bounds how much
+        #: trace a crash can lose to stdio buffering while keeping the
+        #: happy path at one syscall per ~flush_every events
+        self.flush_every = flush_every
 
     def emit(self, event: TraceEvent) -> None:
         record = {
@@ -84,6 +103,8 @@ class JsonlTraceSink(TraceSink):
         ))
         self.stream.write("\n")
         self.emitted += 1
+        if self.flush_every and self.emitted % self.flush_every == 0:
+            self.stream.flush()
 
     def write_meta(self, meta: dict) -> None:
         """Append a non-event metadata record (``"record"`` keyed).

@@ -207,3 +207,115 @@ def test_cli_bench_bad_filter(tmp_path, capsys):
     rc = main(["bench", "--smoke", "--filter", "zzz",
                "--out", str(tmp_path)])
     assert rc == 2
+
+
+# -- run-ledger and wall-profile observability --------------------------------
+
+
+def test_run_bench_rejects_unknown_scale():
+    """The satellite contract: unknown scale is a ValueError (one-line
+    exit-2 at the CLI), never a raw KeyError from the timeout table."""
+    with pytest.raises(ValueError, match="unknown scale 'warp'"):
+        run_bench(scale="warp")
+
+
+def test_validate_scale_names_the_choices():
+    from repro.bench.runner import validate_scale
+
+    assert validate_scale("smoke") == "smoke"
+    with pytest.raises(ValueError, match="smoke, quick, full"):
+        validate_scale("huge")
+
+
+def _ledgered_bench(tmp_path, **kwargs):
+    from repro.obs import RunLedger, read_ledger, set_ledger
+
+    path = tmp_path / "ledger.jsonl"
+    ledger = RunLedger(path, verb="bench")
+    previous = set_ledger(ledger)
+    try:
+        docs, runner = run_bench(
+            scale="smoke", filter_pattern="fig1_gauss", **kwargs)
+    finally:
+        set_ledger(previous)
+        ledger.close()
+    return docs, read_ledger(path)
+
+
+def test_ledger_points_reconcile_with_the_bench_doc(tmp_path):
+    """Acceptance: per-point spans match the doc's point count and
+    wall-clock totals."""
+    docs, records = _ledgered_bench(tmp_path)
+    doc = docs["fig1_gauss"]
+    points = [r for r in records
+              if r.get("record") == "span"
+              and r.get("name") == "bench.point"]
+    assert len(points) == len(doc["points"])
+    by_task = {p["attrs"]["task"]: p for p in points}
+    for point in doc["points"]:
+        span = by_task[f"fig1_gauss::{point['name']}"]
+        assert span["wall"]["dur_s"] == point["wall_s"]
+        assert span["attrs"]["ok"] is point["ok"]
+        assert span["attrs"]["seed"] == point["seed"]
+    assert round(sum(p["wall"]["dur_s"] for p in points), 4) == \
+        pytest.approx(doc["wall_clock_s"], abs=1e-2)
+    sweep = next(r for r in records if r.get("name") == "bench.sweep")
+    assert all(p["parent"] == sweep["sid"] for p in points)
+    summary = next(r for r in records
+                   if r.get("name") == "pool.summary")
+    assert summary["attrs"]["tasks"] == len(doc["points"])
+
+
+def test_parallel_ledger_spans_are_rerun_stable(tmp_path):
+    """Parallel completion order must not leak into sid assignment."""
+    from repro.obs import strip_wall_ledger
+
+    _docs, serial = _ledgered_bench(tmp_path / "a", jobs=1)
+    _docs, parallel = _ledgered_bench(tmp_path / "b", jobs=2)
+    assert strip_wall_ledger(serial) == strip_wall_ledger(parallel)
+
+
+def test_parallel_points_carry_worker_pids(tmp_path):
+    import os
+
+    _docs, records = _ledgered_bench(tmp_path, jobs=2)
+    points = [r for r in records if r.get("name") == "bench.point"]
+    pids = {p["wall"].get("pid") for p in points}
+    # context propagated across the process boundary: the measuring pid
+    # is a worker's, not the parent's (unless the pool degraded)
+    assert pids
+    if os.getpid() in pids:
+        sweep = next(r for r in records
+                     if r.get("name") == "bench.sweep")
+        assert sweep is not None  # degraded sandbox: parent ran them
+
+
+def test_profile_wall_embeds_slowest_tables(tmp_path):
+    docs, _records = _ledgered_bench(tmp_path, profile_wall=2)
+    profile = docs["fig1_gauss"]["wall_profile"]
+    assert profile["slowest"] == 2
+    assert 1 <= len(profile["points"]) <= 2
+    for table in profile["points"].values():
+        assert table["top"]
+        assert table["total_calls"] > 0
+    # wall-clock data: stripped from the snapshot view
+    assert "wall_profile" not in \
+        strip_wall_clock(docs["fig1_gauss"])
+    assert validate_bench(docs["fig1_gauss"]) == []
+
+
+def test_bench_without_ledger_emits_nothing(tmp_path):
+    from repro.obs import get_ledger
+
+    assert get_ledger() is None
+    docs, _runner = run_bench(scale="smoke",
+                              filter_pattern="tab1_costmodel")
+    assert "wall_profile" not in docs["tab1_costmodel"]
+
+
+def test_pool_health_is_attached_and_counts_tasks():
+    docs, runner = run_bench(scale="smoke",
+                             filter_pattern="fig1_gauss", jobs=2)
+    summary = runner.health.summary()
+    assert summary["tasks"] == len(docs["fig1_gauss"]["points"])
+    assert summary["failures"] == 0

@@ -1,0 +1,281 @@
+"""CLI observability: --ledger, repro obs trend/ledger, bench --scale
+and --compare."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_ledger, validate_ledger
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+# -- the --ledger flag --------------------------------------------------------
+
+
+def test_ledger_flag_wraps_any_verb_in_a_root_span(tmp_path, capsys):
+    path = tmp_path / "ledger.jsonl"
+    code, _out = run_cli(capsys, "--ledger", str(path), "table1")
+    assert code == 0
+    records = read_ledger(path)
+    assert validate_ledger(records) == []
+    assert records[0]["verb"] == "table1"
+    root = next(r for r in records if r.get("name") == "cli.table1")
+    assert root["status"] == "ok"
+    assert root["attrs"]["exit_code"] == 0
+    assert records[-1]["record"] == "close"
+
+
+def test_repro_ledger_env_var_is_the_flag(tmp_path, capsys,
+                                          monkeypatch):
+    path = tmp_path / "ledger.jsonl"
+    monkeypatch.setenv("REPRO_LEDGER", str(path))
+    code, _out = run_cli(capsys, "transitions")
+    assert code == 0
+    assert read_ledger(path)[0]["verb"] == "transitions"
+
+
+def test_failing_verb_ledgers_an_error_root_span(tmp_path, capsys):
+    path = tmp_path / "ledger.jsonl"
+    code, _out = run_cli(capsys, "--ledger", str(path),
+                         "bench", "--scale", "warp")
+    assert code == 2
+    root = next(r for r in read_ledger(path)
+                if r.get("name") == "cli.bench")
+    assert root["status"] == "error"
+    assert root["attrs"]["exit_code"] == 2
+
+
+def test_record_pipeline_nests_stage_spans(tmp_path, capsys):
+    path = tmp_path / "ledger.jsonl"
+    trace = tmp_path / "g.trace"
+    code, _out = run_cli(
+        capsys, "--ledger", str(path), "record", "gauss",
+        "-n", "12", "-p", "2", "--machine", "4", "-o", str(trace),
+    )
+    assert code == 0
+    records = read_ledger(path)
+    names = [r.get("name") for r in records
+             if r.get("record") == "span"]
+    assert "record.simulate" in names
+    assert "record.save" in names
+    root = next(r for r in records if r.get("name") == "cli.record")
+    sim = next(r for r in records
+               if r.get("name") == "record.simulate")
+    assert sim["parent"] == root["sid"]
+    assert sim["attrs"]["ops"] > 0
+    # the pipeline continues: replay the bundle under its own ledger
+    path2 = tmp_path / "replay.jsonl"
+    code, _out = run_cli(capsys, "--ledger", str(path2),
+                         "replay", str(trace))
+    assert code == 0
+    replay = next(r for r in read_ledger(path2)
+                  if r.get("name") == "replay.run")
+    assert replay["attrs"]["events_executed"] > 0
+
+
+# -- repro obs ledger ---------------------------------------------------------
+
+
+def test_obs_ledger_summarizes_the_span_tree(tmp_path, capsys):
+    path = tmp_path / "ledger.jsonl"
+    run_cli(capsys, "--ledger", str(path), "table1")
+    code, out = run_cli(capsys, "obs", "ledger", str(path))
+    assert code == 0
+    assert "verb=table1" in out
+    assert "cli.table1" in out
+
+
+def test_obs_ledger_strip_wall_is_byte_stable(tmp_path, capsys):
+    outs = []
+    for i in range(2):
+        path = tmp_path / f"ledger{i}.jsonl"
+        run_cli(capsys, "--ledger", str(path), "table1")
+        code, out = run_cli(capsys, "obs", "ledger", "--strip-wall",
+                            str(path))
+        assert code == 0
+        # the stripped view must not mention the varying file name
+        outs.append(out.replace(f"ledger{i}", "ledger"))
+    assert outs[0] == outs[1]
+    for line in outs[0].splitlines():
+        assert "wall" not in json.loads(line)
+
+
+def test_obs_ledger_missing_file_exits_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "obs", "ledger",
+                        str(tmp_path / "nope.jsonl"))
+    assert code == 2
+    assert "cannot read" in out
+
+
+def test_obs_ledger_invalid_records_exit_1(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"record":"span","name":"x","wall":{}}\n')
+    code, out = run_cli(capsys, "obs", "ledger", str(path))
+    assert code == 1
+    assert "ledger problem(s)" in out
+
+
+# -- repro obs trend ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke_outputs(tmp_path_factory):
+    """One real smoke sweep: its results dir and snapshot file."""
+    base = tmp_path_factory.mktemp("trend")
+    out = base / "results"
+    snap = base / "snap.json"
+    code = main(["bench", "--scale", "smoke", "--filter",
+                 "tab1_costmodel", "-q", "--out", str(out),
+                 "--snapshot", str(snap)])
+    assert code == 0
+    return out, snap
+
+
+def test_obs_trend_identical_snapshots_pass(smoke_outputs, tmp_path,
+                                            capsys):
+    _out, snap = smoke_outputs
+    copy = tmp_path / "snap2.json"
+    copy.write_text(snap.read_text())
+    code, out = run_cli(capsys, "obs", "trend", str(snap), str(copy))
+    assert code == 0
+    assert "=> ok" in out
+
+
+def test_obs_trend_flags_injected_2x_regression(smoke_outputs,
+                                                tmp_path, capsys):
+    """The CI self-test contract: double every wall figure of a fresh
+    run and the gate must fail."""
+    results, _snap = smoke_outputs
+    doc = json.loads(
+        (results / "BENCH_tab1_costmodel.json").read_text())
+    for point in doc["points"]:
+        point["wall_s"] = max(point["wall_s"], 0.1)
+    doc["wall_clock_s"] = sum(p["wall_s"] for p in doc["points"])
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(doc))
+    for point in doc["points"]:
+        point["wall_s"] *= 2
+    doc["wall_clock_s"] *= 2
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(doc))
+    code, out = run_cli(capsys, "obs", "trend", str(base), str(slow))
+    assert code == 1
+    assert "REGRESSION" in out
+
+
+def test_obs_trend_detects_drift(smoke_outputs, tmp_path, capsys):
+    _results, snap = smoke_outputs
+    doc = json.loads(snap.read_text())
+    target = doc["targets"]["tab1_costmodel"]
+    target["counters"] = dict(target["counters"], faults=999_999)
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(doc))
+    code, out = run_cli(capsys, "obs", "trend", str(snap),
+                        str(drifted))
+    assert code == 1
+    assert "DRIFT" in out
+    assert "faults" in out
+
+
+def test_obs_trend_json_output_and_out_file(smoke_outputs, tmp_path,
+                                            capsys):
+    _results, snap = smoke_outputs
+    copy = tmp_path / "snap2.json"
+    copy.write_text(snap.read_text())
+    verdict_path = tmp_path / "verdict.json"
+    code, out = run_cli(capsys, "obs", "trend", "--format", "json",
+                        "--out", str(verdict_path), str(snap),
+                        str(copy))
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == "repro-trend/1"
+    assert doc["ok"] is True
+    assert json.loads(verdict_path.read_text()) == doc
+
+
+def test_obs_trend_needs_two_files(smoke_outputs, capsys):
+    _results, snap = smoke_outputs
+    code, out = run_cli(capsys, "obs", "trend", str(snap))
+    assert code == 2
+    assert "at least two" in out
+
+
+def test_obs_trend_unreadable_input_exits_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "obs", "trend",
+                        str(tmp_path / "a.json"),
+                        str(tmp_path / "b.json"))
+    assert code == 2
+    assert "repro obs trend:" in out
+
+
+# -- bench --scale / --compare ------------------------------------------------
+
+
+def test_bench_scale_by_name(tmp_path, capsys):
+    code, out = run_cli(capsys, "bench", "--scale", "smoke",
+                        "--filter", "tab1_costmodel", "-q",
+                        "--out", str(tmp_path))
+    assert code == 0
+    assert "bench smoke:" in out
+
+
+def test_bench_unknown_scale_is_a_oneline_exit_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "bench", "--scale", "warp",
+                        "--out", str(tmp_path))
+    assert code == 2
+    assert out.strip().splitlines() == [
+        "repro bench: unknown scale 'warp' (have: smoke, quick, full)"
+    ]
+
+
+def test_bench_scale_conflicts_with_smoke_flag(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "--scale", "smoke", "--smoke",
+              "--out", str(tmp_path)])
+    capsys.readouterr()
+
+
+def test_bench_compare_gates_against_a_baseline(smoke_outputs,
+                                                tmp_path, capsys):
+    _results, snap = smoke_outputs
+    code, out = run_cli(
+        capsys, "bench", "--scale", "smoke", "--filter",
+        "tab1_costmodel", "-q", "--out", str(tmp_path),
+        "--compare", str(snap),
+    )
+    assert code == 0
+    assert "=> ok" in out
+
+
+def test_bench_compare_fails_on_drifted_baseline(smoke_outputs,
+                                                 tmp_path, capsys):
+    _results, snap = smoke_outputs
+    doc = json.loads(snap.read_text())
+    target = doc["targets"]["tab1_costmodel"]
+    target["counters"] = dict(target["counters"], faults=123_456_789)
+    baseline = tmp_path / "drifted.json"
+    baseline.write_text(json.dumps(doc))
+    code, out = run_cli(
+        capsys, "bench", "--scale", "smoke", "--filter",
+        "tab1_costmodel", "-q", "--out", str(tmp_path / "r"),
+        "--compare", str(baseline),
+    )
+    assert code == 1
+    assert "DRIFT" in out
+
+
+def test_bench_profile_wall_prints_top_functions(tmp_path, capsys):
+    code, out = run_cli(
+        capsys, "bench", "--scale", "smoke", "--filter",
+        "tab1_costmodel", "-q", "--out", str(tmp_path),
+        "--profile-wall", "1",
+    )
+    assert code == 0
+    assert "cumtime" in out
+    assert "_execute" in out

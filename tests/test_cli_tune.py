@@ -196,7 +196,7 @@ def test_bench_update_is_smoke_plus_snapshot(
     seen = {}
 
     def fake_run_bench(scale, jobs, filter_pattern, base_seed,
-                      timeout_s, progress):
+                      timeout_s, progress, **_kwargs):
         seen["scale"] = scale
 
         class _Runner:

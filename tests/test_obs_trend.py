@@ -1,0 +1,176 @@
+"""The repro-trend/1 perf-trajectory gate."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import make_doc, strip_wall_clock
+from repro.obs import (
+    TREND_SCHEMA,
+    TrendError,
+    compare_targets,
+    load_perf_doc,
+    render_trend,
+    trend_series,
+)
+
+
+def bench_doc(target="t", wall=1.0, point_wall=1.0, events=10_000,
+              sim_time_ms=5.0):
+    return make_doc(
+        target=target,
+        title="a target",
+        scale="smoke",
+        config={"n": 8},
+        points=[{
+            "name": "p=2",
+            "config": {"p": 2},
+            "metrics": {"sim_time_ms": sim_time_ms,
+                        "events_executed": events},
+            "error": None,
+            "ok": True,
+            "seed": 7,
+            "wall_s": point_wall,
+        }],
+        derived={"speedup": 1.9},
+        counters={"faults": 12},
+        wall_clock_s=wall,
+        jobs=1,
+    )
+
+
+def norm(doc, source="mem"):
+    return {"source": source, "scale": doc["scale"],
+            "targets": {doc["target"]: doc}}
+
+
+def test_identical_docs_pass():
+    verdict = compare_targets(norm(bench_doc()), norm(bench_doc()))
+    assert verdict["schema"] == TREND_SCHEMA
+    assert verdict["ok"] is True
+    assert verdict["drifted"] == []
+    assert verdict["regressions"] == []
+
+
+def test_2x_wall_regression_is_flagged():
+    base = bench_doc(wall=1.0, point_wall=1.0)
+    cur = bench_doc(wall=2.0, point_wall=2.0)
+    verdict = compare_targets(norm(base), norm(cur))
+    assert verdict["ok"] is False
+    assert "t.wall_clock_s" in verdict["regressions"]
+    assert "t::p=2.wall_s" in verdict["regressions"]
+    # same events over twice the wall: events/sec halved
+    assert "t::p=2.events_per_s" in verdict["regressions"]
+    assert "REGRESSION" in render_trend(verdict)
+
+
+def test_wall_noise_within_tolerance_passes():
+    verdict = compare_targets(
+        norm(bench_doc(wall=1.0, point_wall=1.0)),
+        norm(bench_doc(wall=1.3, point_wall=1.3)),
+    )
+    assert verdict["ok"] is True
+
+
+def test_tiny_baselines_are_below_the_noise_floor():
+    verdict = compare_targets(
+        norm(bench_doc(wall=0.01, point_wall=0.01)),
+        norm(bench_doc(wall=0.04, point_wall=0.04)),
+    )
+    assert verdict["ok"] is True
+    wall = verdict["targets"]["t"]["wall"]
+    assert wall["verdict"] == "below_noise_floor"
+
+
+def test_sim_time_drift_is_equality_not_tolerance():
+    """A 1% sim-time change is drift: the simulator is deterministic."""
+    base = bench_doc(sim_time_ms=5.0)
+    cur = bench_doc(sim_time_ms=5.05)
+    verdict = compare_targets(norm(base), norm(cur))
+    assert verdict["ok"] is False
+    assert verdict["drifted"] == ["t"]
+    assert any("sim_time_ms" in d
+               for d in verdict["targets"]["t"]["drift"])
+
+
+def test_stripped_snapshots_skip_the_wall_layer():
+    """Committed snapshots carry no wall fields: drift-only compare."""
+    base = strip_wall_clock(bench_doc(wall=1.0, point_wall=1.0))
+    cur = strip_wall_clock(bench_doc(wall=9.0, point_wall=9.0))
+    verdict = compare_targets(
+        {"source": "a", "scale": "smoke", "targets": {"t": base}},
+        {"source": "b", "scale": "smoke", "targets": {"t": cur}},
+    )
+    assert verdict["ok"] is True
+    assert verdict["targets"]["t"]["wall"]["verdict"] == "skipped"
+
+
+def test_missing_target_fails_added_target_passes():
+    two = {"source": "a", "scale": "smoke",
+           "targets": {"t": bench_doc(), "u": bench_doc(target="u")}}
+    one = norm(bench_doc())
+    gone = compare_targets(two, one)
+    assert gone["ok"] is False
+    assert gone["missing_targets"] == ["u"]
+    grew = compare_targets(one, two)
+    assert grew["ok"] is True
+    assert grew["added_targets"] == ["u"]
+
+
+def test_scale_mismatch_raises():
+    quick = norm(bench_doc())
+    quick["scale"] = "quick"
+    with pytest.raises(TrendError):
+        compare_targets(norm(bench_doc()), quick)
+
+
+def test_load_perf_doc_accepts_doc_snapshot_and_directory(tmp_path):
+    from repro.bench.snapshot import snapshot_doc
+
+    doc = bench_doc()
+    doc_path = tmp_path / "BENCH_t.json"
+    doc_path.write_text(json.dumps(doc))
+    assert load_perf_doc(doc_path)["targets"]["t"]["target"] == "t"
+
+    snap_path = tmp_path / "snap.json"
+    snap_path.write_text(json.dumps(snapshot_doc({"t": doc}, "smoke")))
+    loaded = load_perf_doc(snap_path)
+    assert loaded["scale"] == "smoke"
+    assert "t" in loaded["targets"]
+
+    loaded_dir = load_perf_doc(tmp_path)
+    assert "t" in loaded_dir["targets"]
+
+
+def test_load_perf_doc_rejects_garbage(tmp_path):
+    with pytest.raises(TrendError):
+        load_perf_doc(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(TrendError):
+        load_perf_doc(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"schema": "other/1"}')
+    with pytest.raises(TrendError):
+        load_perf_doc(wrong)
+    empty_dir = tmp_path / "empty"
+    empty_dir.mkdir()
+    with pytest.raises(TrendError):
+        load_perf_doc(empty_dir)
+
+
+def test_trend_series_compares_consecutive_pairs(tmp_path):
+    paths = []
+    for i, wall in enumerate((1.0, 1.1, 5.0)):
+        path = tmp_path / f"run{i}" / "BENCH_t.json"
+        path.parent.mkdir()
+        path.write_text(json.dumps(
+            bench_doc(wall=wall, point_wall=wall)))
+        paths.append(path.parent)
+    doc = trend_series(paths)
+    assert len(doc["steps"]) == 2
+    assert doc["steps"][0]["ok"] is True
+    assert doc["steps"][1]["ok"] is False
+    assert doc["ok"] is False
+    with pytest.raises(TrendError):
+        trend_series(paths[:1])

@@ -204,3 +204,65 @@ def _event(time, kind, cpage, proc, **detail):
     from repro.core.trace import TraceEvent
 
     return TraceEvent(time, kind, cpage, proc, detail)
+
+
+# -- crash safety: flush-on-exception ------------------------------------------
+
+
+def test_sinks_are_context_managers_that_close_on_exception(tmp_path):
+    """A crashing run inside ``with sink:`` still flushes: the file is
+    a valid, truncated-but-parseable trace."""
+    path = tmp_path / "crash.jsonl"
+    with pytest.raises(RuntimeError):
+        with JsonlTraceSink(path) as sink:
+            sink.emit(_event(10, EventKind.FAULT, 0, 1, action="x"))
+            sink.emit(_event(20, EventKind.FAULT, 1, 0, action="y"))
+            raise RuntimeError("mid-run crash")
+    assert sink.closed
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(line)["time"] for line in lines] == [10, 20]
+
+
+def test_chrome_sink_context_manager_writes_document(tmp_path):
+    path = tmp_path / "crash.json"
+    with pytest.raises(RuntimeError):
+        with ChromeTraceSink(path, n_processors=2) as sink:
+            sink.emit(_event(10, EventKind.FAULT, 0, 1, action="x"))
+            raise RuntimeError("mid-run crash")
+    doc = json.loads(path.read_text())
+    assert any(e.get("cat") == "fault" for e in doc["traceEvents"])
+
+
+def test_jsonl_flush_every_bounds_buffered_loss(tmp_path):
+    """With flush_every=2, an unclosed sink has at most one buffered
+    event -- the on-disk prefix is always parseable."""
+    path = tmp_path / "stream.jsonl"
+    sink = JsonlTraceSink(path, flush_every=2)
+    for i in range(5):
+        sink.emit(_event(i * 10, EventKind.FAULT, 0, 0, action="a"))
+    # not closed: only the flushed prefix is guaranteed on disk
+    flushed = path.read_text().splitlines()
+    assert len(flushed) >= 4
+    for line in flushed:
+        json.loads(line)
+    sink.close()
+    assert len(path.read_text().splitlines()) == 5
+
+
+def test_cli_run_closes_sinks_when_the_run_raises(tmp_path, capsys,
+                                                  monkeypatch):
+    """The CLI flushes trace sinks in a finally: a crashing workload
+    leaves the streamed trace parseable, not buffered away."""
+    from repro import cli as cli_mod
+
+    def boom(kernel, program):
+        raise RuntimeError("workload exploded")
+
+    monkeypatch.setattr(cli_mod, "run_program", boom)
+    path = tmp_path / "t.jsonl"
+    with pytest.raises(RuntimeError):
+        cli_mod.main(["gauss", "-n", "8", "-p", "2",
+                      "--trace-out", str(path)])
+    capsys.readouterr()
+    assert path.exists()  # opened, flushed and closed despite the crash

@@ -177,3 +177,85 @@ def test_default_kernel_has_disabled_registry():
         n=8, n_threads=2, verify_result=False,
     ))
     assert kernel.metrics.totals()["faults_total"] == 0
+
+
+# -- registry edge cases: bucket boundaries, cardinality, bad files -----------
+
+
+def test_histogram_boundary_value_lands_in_lower_bucket():
+    """Bucket semantics are ``value <= bound``: an observation exactly
+    on a bound counts in that bound's bucket, not the next one."""
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    h = registry.histogram("h", buckets=(1.0, 10.0))
+    h.observe(1.0)   # exactly the first bound
+    h.observe(10.0)  # exactly the last bound
+    h.observe(10.000001)  # just past: +Inf bucket
+    child = h.labels()
+    assert child.counts == [1, 1, 1]
+    assert child.count == 3
+    assert child.sum == pytest.approx(21.000001)
+
+
+def test_histogram_extreme_values_hit_edge_buckets():
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    h = registry.histogram("h", buckets=(1.0, 10.0))
+    h.observe(0.0)
+    h.observe(-5.0)            # below every bound: first bucket
+    h.observe(float("inf"))    # above every bound: +Inf bucket
+    assert h.labels().counts == [2, 0, 1]
+
+
+def test_label_cardinality_growth_tracks_every_series():
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    c = registry.counter("req_total", labels=("who",))
+    for i in range(50):
+        c.labels(f"worker-{i}").inc(i)
+    series = list(c.series())
+    assert len(series) == 50
+    assert c.total == sum(range(50))
+    # collect() renders one record per (metric, label set)
+    records = [r for r in registry.collect()
+               if r["name"] == "req_total"]
+    assert len(records) == 50
+
+
+def test_format_truncates_high_cardinality_metrics():
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    c = registry.counter("req_total", labels=("who",))
+    for i in range(50):
+        c.labels(f"worker-{i}").inc()
+    text = registry.format(max_series=12)
+    assert "... and 38 more series" in text
+
+
+def test_metrics_from_empty_file_is_a_oneline_error(tmp_path, capsys):
+    from repro.cli import main
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code = main(["metrics", "--from", str(empty)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "no metric or sample records" in out
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_metrics_from_corrupt_file_is_a_oneline_error(tmp_path, capsys):
+    from repro.cli import main
+
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text('{"record": "metric", "name": "x", "value": 1}\n'
+                       "{torn-line")
+    code = main(["metrics", "--from", str(corrupt)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "not JSON" in out
+    assert ":2:" in out  # names the offending line
