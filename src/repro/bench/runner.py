@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from ..analysis.costmodel import aggregate_counters
 from ..obs import PoolHealth, get_ledger
 from ..obs import span as obs_span
+from ..obs import tick as obs_tick
 from .schema import make_doc, validate_bench, write_bench
 from .sweep import SweepRunner, Task, TaskResult, task_seed
 from . import targets as _targets  # noqa: F401  (warm import: fork
@@ -255,6 +256,22 @@ def run_bench(
     )
     if health is None:
         health = PoolHealth()
+    # in-flight progress ticks for `repro obs ledger --follow`: one
+    # wall-only record per finished point, dropped by strip_wall_ledger
+    done = 0
+    caller_progress = progress
+
+    def progress(result: TaskResult) -> None:
+        nonlocal done
+        done += 1
+        obs_tick(
+            "bench.progress", task=result.name, ok=result.ok,
+            done=done, total=len(tasks),
+            dur_s=round(result.wall_s, 4),
+        )
+        if caller_progress is not None:
+            caller_progress(result)
+
     with obs_span(
         "bench.sweep", scale=scale,
         targets=len(names), tasks=len(tasks),

@@ -244,6 +244,9 @@ class SweepRunner:
             self.health.task_finished(
                 "serial", result.name, result.ok, result.wall_s,
             )
+            # the serial path has no poll loop: beat here so a
+            # ledger --follow reader still sees pool.heartbeat ticks
+            self.health.heartbeat(pending=0, workers=0)
         if self.progress is not None:
             self.progress(result)
         return result

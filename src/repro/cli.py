@@ -170,8 +170,27 @@ def _parse_policy_args(raw, verb: str):
 _POLICY_ARGS_ERROR = object()
 
 
+def _note_history_run(workload: str, args: argparse.Namespace,
+                      result) -> None:
+    """Drop one simulated run's facts into the ambient history
+    recorder (no-op when ``--history`` is off)."""
+    from .obs import get_recorder
+
+    recorder = get_recorder()
+    if recorder is None:
+        return
+    from .analysis.costmodel import run_counters
+
+    recorder.note(workload=workload, machine=args.machine, p=args.p)
+    recorder.note_sim(**run_counters(result))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     want_metrics = args.metrics_out is not None
+    if want_metrics and args.sample_ms <= 0:
+        print(f"repro {args.workload}: --sample-ms must be positive, "
+              f"got {args.sample_ms}")
+        return 2
     policy = None
     if args.policy:
         policy_args = _parse_policy_args(args.policy_args, args.workload)
@@ -206,6 +225,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # a crashing run must still flush its trace sinks: a valid,
         # truncated trace beats a silently-buffered empty one
         kernel.tracer.close_sinks()
+    _note_history_run(args.workload, args, result)
     print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
           f"on {args.p} of {args.machine} processors")
     print()
@@ -225,7 +245,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _metrics_from_file(destination: str) -> int:
+def _metrics_from_file(destination: str, fmt: str = "text") -> int:
     """Summarize a previously written metrics JSONL file."""
     import json
     from pathlib import Path
@@ -262,6 +282,11 @@ def _metrics_from_file(destination: str) -> int:
     if not metrics and not samples:
         print(f"repro metrics: {path}: no metric or sample records")
         return 2
+    if fmt == "prom":
+        from .telemetry import records_to_prometheus
+
+        sys.stdout.write(records_to_prometheus(metrics))
+        return 0
     print(f"{path}: {len(metrics)} metric record(s), "
           f"{samples} sample record(s)")
     for record in metrics:
@@ -277,15 +302,33 @@ def _metrics_from_file(destination: str) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.from_file is not None:
-        return _metrics_from_file(args.from_file)
+        return _metrics_from_file(args.from_file, args.format)
     if args.workload is None:
         print("repro metrics: give a workload to run, or --from FILE "
               "to summarize a saved metrics file")
+        return 2
+    if args.sample_ms <= 0:
+        print(f"repro metrics: --sample-ms must be positive, "
+              f"got {args.sample_ms}")
         return 2
     kernel = make_kernel(n_processors=args.machine, metrics=True)
     sampler = _start_sampler(kernel, args.sample_ms)
     program = _make_program(args.workload, args, args.p)
     result = run_program(kernel, program)
+    _note_history_run(args.workload, args, result)
+    if args.format == "prom":
+        # stdout is the exposition document; human context to stderr
+        print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
+              f"on {args.p} of {args.machine} processors",
+              file=sys.stderr)
+        from .telemetry import to_prometheus
+
+        sys.stdout.write(to_prometheus(kernel.metrics))
+        if args.out:
+            lines = _write_metrics_jsonl(kernel, sampler, args.out)
+            print(f"wrote {lines} metric/sample records to {args.out}",
+                  file=sys.stderr)
+        return 0
     print(f"{program.name}: {result.sim_time_ms:.2f} ms simulated "
           f"on {args.p} of {args.machine} processors")
     print()
@@ -406,6 +449,79 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         sys.stdout.write(report.to_json())
     else:
         sys.stdout.write(report.format_text())
+    return 0
+
+
+def _is_events_ledger(target: str) -> bool:
+    """True when ``target`` is a ``repro-events/1`` ledger file."""
+    import json
+    from pathlib import Path
+
+    path = Path(target)
+    if not path.is_file():
+        return False
+    try:
+        with open(path) as handle:
+            first = handle.readline()
+        record = json.loads(first)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(record, dict) \
+        and record.get("record") == "meta" \
+        and record.get("schema") == "repro-events/1"
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Run the anomaly-detector catalog over a run (see obs.doctor)."""
+    import json
+
+    from .obs import DoctorError, LedgerError, diagnose, render_findings
+    from .obs.doctor import validate_detectors
+    from .profile import ProfileError, ProfileSource
+    from .workloads import SpecError
+
+    detectors = args.detector or None
+    try:
+        if detectors is not None:
+            # reject an unknown detector *before* the expensive run
+            validate_detectors(detectors)
+        target = args.target
+        source = None
+        ledger_records = None
+        if target in _EXPLAIN_WORKLOADS or target == "sec42":
+            source = _explain_run(args, target)
+        elif _is_workload_spec(target):
+            source = _explain_spec(target)
+        elif _is_events_ledger(target):
+            from .obs import read_ledger
+
+            ledger_records = read_ledger(target)
+            if detectors is None:
+                detectors = ["pool_wall"]
+        else:
+            source = ProfileSource.load(target)
+        report = diagnose(
+            source,
+            ledger_records=ledger_records,
+            detectors=detectors,
+        )
+    except (DoctorError, ProfileError, SpecError, LedgerError) as exc:
+        print(f"repro doctor: {exc}")
+        return 2
+    except OSError as exc:
+        print(f"repro doctor: cannot read {args.target}: "
+              f"{exc.strerror or exc}")
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote findings to {args.out}", file=sys.stderr)
+    if args.format == "json":
+        sys.stdout.write(text)
+    else:
+        print(render_findings(report))
     return 0
 
 
@@ -749,6 +865,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"repro bench: {exc}")
         return 2
     wall = _time.perf_counter() - t0
+    from .obs import get_recorder
+
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.note(scale=scale, seed=args.base_seed,
+                      targets=sorted(docs))
+        recorder.note_wall(jobs=args.jobs, sweep_s=round(wall, 6))
+        for name, doc in sorted(docs.items()):
+            recorder.note_bench(name, doc)
     out_dir = Path(args.out)
     written = write_results(docs, out_dir)
     if args.snapshot:
@@ -814,8 +939,12 @@ def _cmd_obs_trend(args: argparse.Namespace) -> int:
     from .obs import (
         DEFAULT_MIN_WALL_S,
         DEFAULT_WALL_TOLERANCE,
+        HistoryError,
         TrendError,
+        history_root,
+        load_history,
         render_trend,
+        trend_history,
         trend_series,
     )
 
@@ -824,12 +953,25 @@ def _cmd_obs_trend(args: argparse.Namespace) -> int:
     min_wall = args.min_wall_s if args.min_wall_s is not None \
         else DEFAULT_MIN_WALL_S
     try:
-        doc = trend_series(
-            args.files,
-            wall_tolerance=tolerance,
-            min_wall_s=min_wall,
-        )
-    except TrendError as exc:
+        if args.history_n is not None:
+            if args.files:
+                print("repro obs trend: give bench files or "
+                      "--history N, not both")
+                return 2
+            summaries = load_history(
+                history_root(args.history_dir), last=args.history_n)
+            doc = trend_history(
+                summaries,
+                wall_tolerance=tolerance,
+                min_wall_s=min_wall,
+            )
+        else:
+            doc = trend_series(
+                args.files,
+                wall_tolerance=tolerance,
+                min_wall_s=min_wall,
+            )
+    except (TrendError, HistoryError) as exc:
         print(f"repro obs trend: {exc}")
         return 2
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
@@ -853,6 +995,22 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
         validate_ledger,
     )
 
+    if args.follow:
+        from .obs import follow_ledger, render_follow_record
+
+        try:
+            for record in follow_ledger(
+                args.path, poll_s=args.poll_s, timeout_s=args.timeout,
+            ):
+                line = render_follow_record(record)
+                if line:
+                    print(line, flush=True)
+        except LedgerError as exc:
+            print(f"repro obs ledger: {exc}")
+            return 2
+        except KeyboardInterrupt:
+            return 130
+        return 0
     try:
         records = read_ledger(args.path)
     except OSError as exc:
@@ -877,6 +1035,68 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
             print(f"  {problem}")
         return 1
     return 0
+
+
+def _cmd_obs_history_list(args: argparse.Namespace) -> int:
+    from .obs import HistoryError, history_root, load_history
+    from .obs.history import summary_line
+
+    root = history_root(args.history_dir)
+    try:
+        summaries = load_history(root, last=args.last)
+    except HistoryError as exc:
+        print(f"repro obs history: {exc}")
+        return 2
+    if not summaries:
+        print(f"repro obs history: {root} is empty")
+        return 2
+    print(f"{root}: {len(summaries)} run(s)")
+    for summary in summaries:
+        print(f"  {summary_line(summary)}")
+    return 0
+
+
+def _cmd_obs_history_show(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        HistoryError,
+        history_root,
+        list_runs,
+        load_summary,
+        strip_wall_summary,
+    )
+
+    root = history_root(args.history_dir)
+    try:
+        run = args.run
+        if run is None:
+            runs = list_runs(root)
+            if not runs:
+                print(f"repro obs history: {root} is empty")
+                return 2
+            run = runs[-1]
+        summary = load_summary(root, run)
+    except HistoryError as exc:
+        print(f"repro obs history: {exc}")
+        return 2
+    if args.strip_wall:
+        # the rerun-comparable view, one compact line -- byte-identical
+        # across same-args same-seed runs (the round-trip CI check)
+        sys.stdout.write(json.dumps(
+            strip_wall_summary(summary), sort_keys=True,
+            separators=(",", ":")) + "\n")
+    else:
+        sys.stdout.write(json.dumps(
+            summary, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+def _cmd_obs_history_trend(args: argparse.Namespace) -> int:
+    # delegate to `repro obs trend --history N` (0 = every run)
+    args.history_n = args.last if args.last is not None else 0
+    args.files = []
+    return _cmd_obs_trend(args)
 
 
 def _cmd_check_invariants(args: argparse.Namespace) -> int:
@@ -1114,6 +1334,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro-events/1 run ledger (span/event JSONL) of "
         "this invocation to PATH; the REPRO_LEDGER environment "
         "variable does the same (inspect with `repro obs ledger`)")
+    parser.add_argument(
+        "--history", nargs="?", const="", default=None, metavar="DIR",
+        help="append one repro-run/1 summary of this invocation to "
+        "the cross-run history store (default .repro/history, or "
+        "DIR); the REPRO_HISTORY environment variable does the same "
+        "(query with `repro obs history`)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="the section 4.1 cost-model table")
@@ -1295,6 +1521,11 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="FILE",
                     help="summarize a previously written metrics JSONL "
                     "file instead of running a workload")
+    me.add_argument("--format", choices=("text", "prom"),
+                    default="text",
+                    help="output format: the human table (text) or "
+                    "Prometheus text exposition 0.0.4 (prom; stdout "
+                    "is then the exposition document)")
     me.set_defaults(fn=_cmd_metrics, verify=False)
 
     ex = sub.add_parser(
@@ -1346,6 +1577,52 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the profile bundle (events + "
                     "counters) to PATH for later `repro explain PATH`")
     ex.set_defaults(fn=_cmd_explain, verify=False)
+
+    dr = sub.add_parser(
+        "doctor",
+        help="the streaming anomaly doctor: run the detector catalog "
+        "(false sharing, shootdown storms, frozen thrash, defrost "
+        "starvation, pool wall anomalies) and emit a repro-findings/1 "
+        "report",
+        epilog=(
+            "targets (same resolution as `repro explain`):\n"
+            "  gauss|mergesort|neural|jacobi|matmul\n"
+            "                  run the workload live under the tracer\n"
+            "  sec42           the section 4.2 false-sharing anecdote\n"
+            "  PATH.jsonl      a saved profile bundle / trace export,\n"
+            "                  or a repro-events/1 run ledger (pool\n"
+            "                  detector only)\n"
+            "see the detector catalog in docs/OBSERVABILITY.md."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    dr.add_argument(
+        "target",
+        help="workload name, 'sec42', a workload spec, a saved "
+        ".jsonl trace/bundle, or a run ledger",
+    )
+    dr.add_argument("-n", type=int, default=None,
+                    help="problem size (live runs; default depends on "
+                    "the workload, 24 for sec42)")
+    dr.add_argument("-p", type=int, default=8,
+                    help="threads to use (live runs)")
+    dr.add_argument("--machine", type=int, default=16,
+                    help="processors in the simulated machine "
+                    "(live runs)")
+    dr.add_argument("--epochs", type=int, default=25,
+                    help="training epochs (neural only)")
+    dr.add_argument("--detector", action="append", default=None,
+                    metavar="NAME",
+                    help="run only this detector (repeatable; "
+                    "default: the whole catalog)")
+    dr.add_argument("--format", choices=("text", "json"),
+                    default="text",
+                    help="report format (json is the canonical "
+                    "repro-findings/1 document; deterministic outside "
+                    "its wall key)")
+    dr.add_argument("-o", "--out", default=None, metavar="PATH",
+                    help="also write the findings document to PATH")
+    dr.set_defaults(fn=_cmd_doctor, verify=False)
 
     db = sub.add_parser(
         "dashboard",
@@ -1439,8 +1716,17 @@ def build_parser() -> argparse.ArgumentParser:
         "BENCH_*.json or results dirs) and emit repro-trend/1 "
         "verdicts; exit 1 on drift or wall regression",
     )
-    obt.add_argument("files", nargs="+",
-                     help="two or more bench outputs, oldest first")
+    obt.add_argument("files", nargs="*",
+                     help="two or more bench outputs, oldest first "
+                     "(or none with --history)")
+    obt.add_argument("--history", type=int, dest="history_n",
+                     default=None, metavar="N",
+                     help="gate the last N bench-carrying runs from "
+                     "the history store instead of explicit files "
+                     "(0 = every run)")
+    obt.add_argument("--history-dir", default=None, metavar="DIR",
+                     help="history store location (default: "
+                     "REPRO_HISTORY or .repro/history)")
     obt.add_argument("--wall-tolerance", type=float,
                      default=None, metavar="R",
                      help="wall ratio above R is a regression "
@@ -1464,7 +1750,72 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the rerun-comparable records (wall "
                      "fields dropped, sid order) as JSON Lines "
                      "instead of the span tree")
+    obl.add_argument("--follow", action="store_true",
+                     help="tail mode: render records (sweep progress "
+                     "ticks, pool heartbeats, spans) as they are "
+                     "written, until the close record")
+    obl.add_argument("--poll-s", type=float, default=0.2,
+                     metavar="S",
+                     help="--follow poll interval in seconds")
+    obl.add_argument("--timeout", type=float, default=300.0,
+                     metavar="S",
+                     help="--follow gives up after S seconds without "
+                     "a close record")
     obl.set_defaults(fn=_cmd_obs_ledger)
+
+    obh = obsub.add_parser(
+        "history",
+        help="query the cross-run history store "
+        "(repro --history <verb> appends to it)",
+    )
+    obhsub = obh.add_subparsers(dest="history_mode", required=True)
+
+    obhl = obhsub.add_parser(
+        "list", help="one line per recorded run")
+    obhl.add_argument("-n", "--last", type=int, default=None,
+                      help="only the last N runs")
+    obhl.add_argument("--dir", dest="history_dir", default=None,
+                      metavar="DIR",
+                      help="history store location (default: "
+                      "REPRO_HISTORY or .repro/history)")
+    obhl.set_defaults(fn=_cmd_obs_history_list)
+
+    obhs = obhsub.add_parser(
+        "show", help="print one run's repro-run/1 summary")
+    obhs.add_argument("run", nargs="?", type=int, default=None,
+                      help="run index (default: the latest)")
+    obhs.add_argument("--strip-wall", action="store_true",
+                      help="print the rerun-comparable summary (wall "
+                      "key dropped) as one compact JSON line")
+    obhs.add_argument("--dir", dest="history_dir", default=None,
+                      metavar="DIR",
+                      help="history store location (default: "
+                      "REPRO_HISTORY or .repro/history)")
+    obhs.set_defaults(fn=_cmd_obs_history_show)
+
+    obht = obhsub.add_parser(
+        "trend",
+        help="series perf gate over the store's bench-carrying runs "
+        "(same verdicts as `repro obs trend --history`)")
+    obht.add_argument("-n", "--last", type=int, default=None,
+                      help="only the last N runs (default: all)")
+    obht.add_argument("--dir", dest="history_dir", default=None,
+                      metavar="DIR",
+                      help="history store location (default: "
+                      "REPRO_HISTORY or .repro/history)")
+    obht.add_argument("--wall-tolerance", type=float, default=None,
+                      metavar="R",
+                      help="wall ratio above R is a regression "
+                      "(default 1.5)")
+    obht.add_argument("--min-wall-s", type=float, default=None,
+                      metavar="S",
+                      help="baseline walls under S seconds are noise "
+                      "(default 0.05)")
+    obht.add_argument("--format", choices=("text", "json"),
+                      default="text", help="report format")
+    obht.add_argument("-o", "--out", default=None, metavar="PATH",
+                      help="also write the verdict document to PATH")
+    obht.set_defaults(fn=_cmd_obs_history_trend)
 
     ck = sub.add_parser(
         "check",
@@ -1599,35 +1950,65 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _dispatch(args: argparse.Namespace,
               argv: Optional[Sequence[str]]) -> int:
-    """Run the verb, under a run-ledger root span when one is asked
-    for (``--ledger PATH`` or the ``REPRO_LEDGER`` environment
-    variable).  The ledger is closed in a ``finally`` so a crashing
-    verb still leaves a valid, truncated ledger file."""
+    """Run the verb, under a run-ledger root span and/or a history
+    recorder when asked for (``--ledger PATH`` / ``REPRO_LEDGER``,
+    ``--history [DIR]`` / ``REPRO_HISTORY``).  Both finalize in a
+    ``finally`` so a crashing verb still leaves a valid, truncated
+    ledger and an error-status history summary.  ``repro obs`` itself
+    is never recorded: querying the store must not grow it."""
     import os
 
-    destination = args.ledger or os.environ.get("REPRO_LEDGER")
-    if not destination:
-        return args.fn(args)
-    from .obs import RunLedger, set_ledger
-
-    ledger = RunLedger(
-        destination,
-        verb=args.command,
-        argv=[str(a) for a in
-              (argv if argv is not None else sys.argv[1:])],
+    argv_list = [str(a) for a in
+                 (argv if argv is not None else sys.argv[1:])]
+    ledger_dest = args.ledger or os.environ.get("REPRO_LEDGER")
+    want_history = args.command != "obs" and (
+        args.history is not None
+        or bool(os.environ.get("REPRO_HISTORY"))
     )
-    set_ledger(ledger)
-    root = ledger.span(f"cli.{args.command}")
+    if not ledger_dest and not want_history:
+        return args.fn(args)
+    from .obs import set_ledger, set_recorder
+
+    recorder = None
+    if want_history:
+        from .obs import RunRecorder, history_root
+
+        recorder = RunRecorder(history_root(args.history or None),
+                               args.command, argv_list)
+        set_recorder(recorder)
+    ledger = None
+    root = None
+    if ledger_dest:
+        from .obs import RunLedger
+
+        ledger = RunLedger(ledger_dest, verb=args.command,
+                           argv=argv_list)
+        set_ledger(ledger)
+        root = ledger.span(f"cli.{args.command}")
     status = "error"
+    code = 1
     try:
         code = args.fn(args)
         status = "ok" if code == 0 else "error"
-        root.attrs["exit_code"] = code
+        if root is not None:
+            root.attrs["exit_code"] = code
         return code
     finally:
-        root.end(status=status)
-        ledger.close(status=status)
-        set_ledger(None)
+        if root is not None:
+            root.end(status=status)
+        if ledger is not None:
+            ledger.close(status=status)
+            set_ledger(None)
+        if recorder is not None:
+            if ledger is not None:
+                from .obs import read_ledger
+
+                try:
+                    recorder.note_ledger(read_ledger(ledger_dest))
+                except (OSError, ValueError):
+                    pass  # a torn ledger must not mask the verb's exit
+            recorder.finish(status=status, exit_code=code)
+            set_recorder(None)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

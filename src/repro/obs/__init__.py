@@ -19,13 +19,44 @@ the *tooling fleet from the outside*:
     The perf trajectory: ``repro obs trend`` / ``repro bench
     --compare`` turn a series of ``BENCH_*.json`` documents into
     noise-aware ``repro-trend/1`` regression verdicts, wired as a CI
-    gate.
+    gate; ``repro obs trend --history N`` gates the last N runs from
+    the history store.
+``doctor``
+    Streaming anomaly detectors (false sharing, shootdown storms,
+    frozen-page thrash, defrost starvation, pool wall pathologies)
+    over one run's profile events, sampler rows and pool health --
+    the ``repro doctor`` verb and ``repro-findings/1`` reports.
+``history``
+    The cross-run memory: one byte-stable ``repro-run/1`` summary per
+    CLI invocation appended to ``.repro/history/``, queried by
+    ``repro obs history list|show|trend``.
 
 See the "Run ledger & perf trajectory" section of
 docs/OBSERVABILITY.md.
 """
 
+from .doctor import (
+    DETECTOR_ORDER,
+    DOCTOR_SCHEMA,
+    DoctorError,
+    diagnose,
+    render_findings,
+    strip_wall_findings,
+)
 from .health import PoolHealth, WALL_S_BUCKETS
+from .history import (
+    HISTORY_SCHEMA,
+    HistoryError,
+    RunRecorder,
+    append_summary,
+    get_recorder,
+    history_root,
+    list_runs,
+    load_history,
+    load_summary,
+    set_recorder,
+    strip_wall_summary,
+)
 from .ledger import (
     LEDGER_SCHEMA,
     NULL_SPAN,
@@ -33,14 +64,17 @@ from .ledger import (
     RunLedger,
     Span,
     event,
+    follow_ledger,
     get_ledger,
     iter_spans,
     read_ledger,
+    render_follow_record,
     set_ledger,
     span,
     strip_wall,
     strip_wall_ledger,
     summarize_ledger,
+    tick,
     validate_ledger,
 )
 from .trend import (
@@ -51,6 +85,7 @@ from .trend import (
     compare_targets,
     load_perf_doc,
     render_trend,
+    trend_history,
     trend_series,
 )
 from .wallprof import format_wall_profile, profile_call, top_functions
@@ -58,30 +93,51 @@ from .wallprof import format_wall_profile, profile_call, top_functions
 __all__ = [
     "DEFAULT_MIN_WALL_S",
     "DEFAULT_WALL_TOLERANCE",
+    "DETECTOR_ORDER",
+    "DOCTOR_SCHEMA",
+    "DoctorError",
+    "HISTORY_SCHEMA",
+    "HistoryError",
     "LEDGER_SCHEMA",
     "LedgerError",
     "NULL_SPAN",
     "PoolHealth",
     "RunLedger",
+    "RunRecorder",
     "Span",
     "TREND_SCHEMA",
     "TrendError",
     "WALL_S_BUCKETS",
+    "append_summary",
     "compare_targets",
+    "diagnose",
     "event",
+    "follow_ledger",
     "format_wall_profile",
     "get_ledger",
+    "get_recorder",
+    "history_root",
     "iter_spans",
+    "list_runs",
+    "load_history",
     "load_perf_doc",
+    "load_summary",
     "profile_call",
     "read_ledger",
+    "render_findings",
+    "render_follow_record",
     "render_trend",
     "set_ledger",
+    "set_recorder",
     "span",
     "strip_wall",
+    "strip_wall_findings",
     "strip_wall_ledger",
+    "strip_wall_summary",
     "summarize_ledger",
+    "tick",
     "top_functions",
+    "trend_history",
     "trend_series",
     "validate_ledger",
 ]

@@ -151,6 +151,11 @@ class PoolHealth:
             self.dropped += 1
         else:
             self.snapshots.append(row)
+        _ledger.tick(
+            "pool.heartbeat",
+            busy=row["busy"], pending=row["pending"],
+            workers=row["workers"], tasks_done=row["tasks_done"],
+        )
         return row
 
     def _check_stalls(self, now: float) -> None:

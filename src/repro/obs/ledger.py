@@ -18,8 +18,16 @@ Record shapes (one sorted-key JSON object per line)::
      "status":"ok","wall":{"t0_s":...,"dur_s":0.41,"worker":0}}
     {"record":"event","sid":9,"parent":1,"name":"pool.respawn",
      "attrs":{"worker":2},"wall":{"t_s":...}}
+    {"record":"tick","name":"bench.progress",
+     "wall":{"t_s":...,"task":"fig1_gauss::p=4","done":3,"total":9}}
     {"record":"close","status":"ok","spans":7,"events":2,
      "wall":{"dur_s":1.93}}
+
+``tick`` records are the streaming-progress channel ``repro obs ledger
+--follow`` renders: they carry *only* wall-clock payload (no sid, every
+field under ``wall``), are emitted in completion order, and are dropped
+wholesale by :func:`strip_wall_ledger` -- so live progress never
+perturbs the deterministic sid assignment or the rerun-comparable view.
 
 Determinism contract: **everything outside the ``wall`` object derives
 from the work itself** (span names, task names, seeds, counts, sim-time
@@ -240,6 +248,21 @@ class RunLedger:
             record["attrs"] = attrs
         self._write(record)
 
+    def tick(self, name: str, **wall: Any) -> None:
+        """A wall-only progress record for live ``--follow`` readers.
+
+        Ticks carry no sid and keep their entire payload under ``wall``:
+        they exist for a human (or ``repro obs ledger --follow``)
+        watching the run, and vanish from the stripped rerun-comparable
+        view -- emitting them in nondeterministic completion order is
+        therefore safe.
+        """
+        self._write({
+            "record": "tick",
+            "name": name,
+            WALL_KEY: {"t_s": round(time.time(), 6), **wall},
+        })
+
     def append_span(self, name: str, attrs: dict, wall: dict,
                     parent: Optional[int] = None,
                     status: str = "ok") -> None:
@@ -324,6 +347,12 @@ def event(name: str, **attrs: Any) -> None:
         _CURRENT.event(name, **attrs)
 
 
+def tick(name: str, **wall: Any) -> None:
+    """A progress tick on the ambient ledger (no-op without one)."""
+    if _CURRENT is not None:
+        _CURRENT.tick(name, **wall)
+
+
 # -- reading and validation ----------------------------------------------------
 
 def read_ledger(path: Union[str, Path]) -> list[dict]:
@@ -370,8 +399,19 @@ def validate_ledger(records: list[dict]) -> list[str]:
             problems.append(f"{where}: expected object")
             continue
         kind = record.get("record")
-        if kind not in ("meta", "span", "event", "close"):
+        if kind not in ("meta", "span", "event", "tick", "close"):
             problems.append(f"{where}: unknown record kind {kind!r}")
+            continue
+        if kind == "tick":
+            if not isinstance(record.get("name"), str):
+                problems.append(f"{where}: missing 'name'")
+            if not isinstance(record.get(WALL_KEY), dict):
+                problems.append(f"{where}: missing '{WALL_KEY}' object")
+            if "sid" in record:
+                problems.append(
+                    f"{where}: ticks are wall-only, must not carry "
+                    "'sid'"
+                )
             continue
         if kind in ("span", "event"):
             if not isinstance(record.get("sid"), int):
@@ -401,9 +441,13 @@ def strip_wall(record: dict) -> dict:
 
 def strip_wall_ledger(records: list[dict]) -> list[dict]:
     """Rerun-comparable view of a whole ledger: wall fields dropped,
-    spans in sid order (parallel sweeps complete, and therefore ledger,
-    points in wall-clock order; sids are assigned deterministically)."""
-    stripped = [strip_wall(r) for r in records]
+    ticks dropped wholesale (their count and order are wall-dependent
+    by design), spans in sid order (parallel sweeps complete, and
+    therefore ledger, points in wall-clock order; sids are assigned
+    deterministically).  Idempotent: stripping a stripped ledger is a
+    no-op."""
+    stripped = [strip_wall(r) for r in records
+                if r.get("record") != "tick"]
     stripped.sort(
         key=lambda r: (0 if r.get("record") == "meta" else
                        2 if r.get("record") == "close" else 1,
@@ -457,3 +501,105 @@ def summarize_ledger(records: list[dict]) -> str:
         lines.append(f"      event  {e.get('name')} "
                      f"{e.get('attrs', {})}")
     return "\n".join(lines)
+
+
+# -- live following ------------------------------------------------------------
+
+def follow_ledger(
+    path: Union[str, Path],
+    poll_s: float = 0.2,
+    timeout_s: Optional[float] = 300.0,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> Iterator[dict]:
+    """Tail a ledger as it is written, yielding records as they land.
+
+    The writer flushes line by line, so a ``--follow`` reader sees each
+    record the moment its span ends (or its tick fires).  Waits for the
+    file to appear (start the follower first, then the run), buffers
+    torn partial lines until the writer completes them, and returns
+    after yielding the ``close`` record.  ``timeout_s`` bounds the whole
+    follow (``None`` follows forever); expiry raises
+    :class:`LedgerError` so a follower of a crashed run terminates.
+    """
+    path = Path(path)
+    deadline = None if timeout_s is None else clock() + timeout_s
+    while not path.exists():
+        if deadline is not None and clock() > deadline:
+            raise LedgerError(
+                f"{path}: no ledger appeared within {timeout_s:g}s"
+            )
+        sleep(poll_s)
+    buffer = ""
+    with open(path, "r") as stream:
+        while True:
+            chunk = stream.read()
+            if chunk:
+                buffer += chunk
+                *complete, buffer = buffer.split("\n")
+                for line in complete:
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        raise LedgerError(
+                            f"{path}: malformed ledger line while "
+                            "following"
+                        ) from None
+                    yield record
+                    if isinstance(record, dict) \
+                            and record.get("record") == "close":
+                        return
+                continue  # drained a chunk: poll again immediately
+            if deadline is not None and clock() > deadline:
+                raise LedgerError(
+                    f"{path}: no close record within {timeout_s:g}s "
+                    "(is the run still alive?)"
+                )
+            sleep(poll_s)
+
+
+def render_follow_record(record: dict) -> Optional[str]:
+    """One human-readable line per followed record (None = skip).
+
+    Progress ticks (``bench.progress``, ``pool.heartbeat``) render as
+    in-flight status lines; ``bench.point`` spans as completed points
+    (the whole sweep's deterministic record, appended post-sweep);
+    other spans and events as their names.
+    """
+    kind = record.get("record")
+    wall = record.get(WALL_KEY, {})
+    if kind == "meta":
+        return (f"following repro {record.get('verb') or '?'} "
+                f"(pid {wall.get('pid', '?')})")
+    if kind == "tick":
+        name = record.get("name")
+        if name == "bench.progress":
+            status = "ok" if wall.get("ok") else "FAILED"
+            dur = wall.get("dur_s")
+            dur_text = f" {dur:.2f}s" if isinstance(dur, (int, float)) \
+                else ""
+            return (f"  [{wall.get('done', '?')}/{wall.get('total', '?')}]"
+                    f" {wall.get('task', '?')} {status}{dur_text}")
+        if name == "pool.heartbeat":
+            return (f"  pool: {wall.get('busy', 0)} busy, "
+                    f"{wall.get('pending', 0)} pending, "
+                    f"{wall.get('tasks_done', 0)} done")
+        return f"  tick {name}"
+    if kind == "span":
+        name = record.get("name")
+        dur = wall.get("dur_s")
+        dur_text = f" {dur:.2f}s" if isinstance(dur, (int, float)) else ""
+        if name == "bench.point":
+            attrs = record.get("attrs", {})
+            return (f"  point {attrs.get('task', '?')} "
+                    f"{record.get('status', '?')}{dur_text}")
+        return f"  span {name} {record.get('status', '?')}{dur_text}"
+    if kind == "event":
+        return f"  event {record.get('name')} {record.get('attrs', {})}"
+    if kind == "close":
+        return (f"ledger closed: status={record.get('status')} "
+                f"spans={record.get('spans')} "
+                f"events={record.get('events')}")
+    return None

@@ -283,6 +283,130 @@ def trend_series(
     }
 
 
+def _history_step(
+    base: dict,
+    cur: dict,
+    wall_tolerance: float,
+    min_wall_s: float,
+) -> dict:
+    """One consecutive-pair comparison over ``repro-run/1`` summaries.
+
+    The history store keeps content *hashes* of wall-stripped BENCH
+    docs rather than the docs themselves, so drift here is hash
+    inequality (any difference is a behaviour change -- same contract
+    as the full diff, less detail).  Wall figures come from the
+    summary's quarantined ``wall.bench`` section.
+    """
+    base_targets = base.get("bench", {}).get("targets", {})
+    cur_targets = cur.get("bench", {}).get("targets", {})
+    base_wall = base.get("wall", {}).get("bench", {})
+    cur_wall = cur.get("wall", {}).get("bench", {})
+    shared = sorted(set(base_targets) & set(cur_targets))
+    missing = sorted(set(base_targets) - set(cur_targets))
+    added = sorted(set(cur_targets) - set(base_targets))
+    targets: dict = {}
+    drifted: list[str] = []
+    regressions: list[str] = []
+    for name in shared:
+        diffs: list[str] = []
+        if base_targets[name].get("sha256") \
+                != cur_targets[name].get("sha256"):
+            diffs.append(
+                f"{name}.sha256: {base_targets[name].get('sha256')!r} "
+                f"-> {cur_targets[name].get('sha256')!r}"
+            )
+            drifted.append(name)
+        wall = _wall_verdict(
+            base_wall.get(name, {}).get("wall_clock_s"),
+            cur_wall.get(name, {}).get("wall_clock_s"),
+            wall_tolerance, min_wall_s)
+        if wall["verdict"] == "regression":
+            regressions.append(f"{name}.wall_clock_s")
+        base_points = base_wall.get(name, {}).get("points", {})
+        points: dict = {}
+        for pname, row in cur_wall.get(name, {}).get(
+                "points", {}).items():
+            base_row = base_points.get(pname)
+            if not isinstance(base_row, dict):
+                continue
+            p_wall = _wall_verdict(base_row.get("wall_s"),
+                                   row.get("wall_s"),
+                                   wall_tolerance, min_wall_s)
+            entry: dict = {"wall": p_wall}
+            if p_wall["verdict"] == "regression":
+                regressions.append(f"{name}::{pname}.wall_s")
+            base_eps = base_row.get("events_per_s")
+            cur_eps = row.get("events_per_s")
+            if isinstance(base_eps, (int, float)) \
+                    and isinstance(cur_eps, (int, float)) \
+                    and isinstance(base_row.get("wall_s"),
+                                   (int, float)) \
+                    and base_row["wall_s"] >= min_wall_s:
+                ratio = base_eps / cur_eps if cur_eps else float("inf")
+                eps_verdict = "ok"
+                if ratio > wall_tolerance:
+                    eps_verdict = "regression"
+                    regressions.append(f"{name}::{pname}.events_per_s")
+                elif ratio < 1.0 / wall_tolerance:
+                    eps_verdict = "improvement"
+                entry["events_per_s"] = {
+                    "baseline": round(base_eps, 1),
+                    "current": round(cur_eps, 1),
+                    "slowdown": round(ratio, 4),
+                    "verdict": eps_verdict,
+                }
+            points[pname] = entry
+        targets[name] = {"drift": diffs, "wall": wall,
+                         "points": points}
+    ok = not drifted and not regressions and not missing
+    return {
+        "schema": TREND_SCHEMA,
+        "baseline": f"run {base.get('run')}",
+        "current": f"run {cur.get('run')}",
+        "scale": cur.get("extras", {}).get("scale")
+        or base.get("extras", {}).get("scale"),
+        "wall_tolerance": wall_tolerance,
+        "min_wall_s": min_wall_s,
+        "targets": targets,
+        "missing_targets": missing,
+        "added_targets": added,
+        "drifted": drifted,
+        "regressions": regressions,
+        "ok": ok,
+    }
+
+
+def trend_history(
+    summaries: list,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> dict:
+    """Series gating over history-store ``repro-run/1`` summaries.
+
+    Only bench-carrying summaries participate (a ``repro run`` between
+    two ``repro bench`` runs has nothing to compare); at least two are
+    required.  Same verdict document shape as :func:`trend_series`.
+    """
+    docs = [s for s in summaries
+            if s.get("bench", {}).get("targets")]
+    if len(docs) < 2:
+        raise TrendError(
+            "history trend needs at least two bench-carrying run "
+            f"summaries (have {len(docs)})"
+        )
+    steps = [
+        _history_step(docs[i], docs[i + 1],
+                      wall_tolerance, min_wall_s)
+        for i in range(len(docs) - 1)
+    ]
+    return {
+        "schema": TREND_SCHEMA,
+        "series": [f"run {d.get('run')}" for d in docs],
+        "steps": steps,
+        "ok": all(step["ok"] for step in steps),
+    }
+
+
 # -- rendering -----------------------------------------------------------------
 
 def render_trend(doc: dict) -> str:

@@ -9,6 +9,9 @@ from .export import (
     TraceSink,
     export_chrome_trace,
     export_jsonl_trace,
+    lint_prometheus,
+    records_to_prometheus,
+    to_prometheus,
 )
 from .metrics import (
     DEFAULT_NS_BUCKETS,
@@ -29,4 +32,7 @@ __all__ = [
     "TraceSink",
     "export_chrome_trace",
     "export_jsonl_trace",
+    "lint_prometheus",
+    "records_to_prometheus",
+    "to_prometheus",
 ]

@@ -304,3 +304,255 @@ def export_jsonl_trace(
         sink.emit(event)
     sink.close()
     return len(events)
+
+
+# -- Prometheus text exposition ------------------------------------------------
+#
+# The text-based exposition format 0.0.4: `# HELP` / `# TYPE` headers,
+# one `name{labels} value` sample per line, histograms as cumulative
+# `_bucket{le=...}` series ending at `le="+Inf"` plus `_sum`/`_count`.
+# Rendering reads registry state without mutating it, so interleaving
+# `to_prometheus` with `to_jsonl` keeps the JSONL bytes identical.
+
+_PROM_NAME_RE_TEXT = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_LABEL_RE_TEXT = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+
+def _prom_number(value) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_escape(value) -> str:
+    return str(value).replace("\\", "\\\\") \
+        .replace("\n", "\\n").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    pairs = list(labels.items()) + list((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape(val)}"' for key, val in pairs
+    )
+    return "{" + body + "}"
+
+
+def _prom_family(name: str, kind: str, help_text: str,
+                 series: list, out: list) -> None:
+    """Render one metric family from ``(labels, sample)`` rows, where a
+    sample is either ``{"value": v}`` or a histogram
+    ``{"buckets": [...], "counts": [...], "sum": s, "count": n}``."""
+    if help_text:
+        out.append(f"# HELP {name} {_prom_escape(help_text)}")
+    prom_kind = kind if kind in ("counter", "gauge", "histogram") \
+        else "untyped"
+    out.append(f"# TYPE {name} {prom_kind}")
+    for labels, sample in series:
+        if "value" in sample:
+            out.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_number(sample['value'])}"
+            )
+            continue
+        cumulative = 0
+        for bound, bucket_count in zip(sample["buckets"],
+                                       sample["counts"]):
+            cumulative += bucket_count
+            out.append(
+                f"{name}_bucket"
+                f"{_prom_labels(labels, {'le': _prom_number(bound)})} "
+                f"{cumulative}"
+            )
+        out.append(
+            f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})} "
+            f"{_prom_number(sample['count'])}"
+        )
+        out.append(
+            f"{name}_sum{_prom_labels(labels)} "
+            f"{_prom_number(sample['sum'])}"
+        )
+        out.append(
+            f"{name}_count{_prom_labels(labels)} "
+            f"{_prom_number(sample['count'])}"
+        )
+
+
+def to_prometheus(registry) -> str:
+    """The registry in Prometheus text format (one trailing newline).
+
+    Families render in registration order, series in first-bound order
+    -- the same deterministic order as ``collect()``, so same-seed
+    runs expose byte-identical text.
+    """
+    out: list[str] = []
+    for metric in registry:
+        series = []
+        for labels, child in metric.series():
+            if metric.kind == "histogram":
+                series.append((labels, {
+                    "buckets": list(child.buckets),
+                    "counts": list(child.counts),
+                    "sum": child.sum,
+                    "count": child.count,
+                }))
+            else:
+                series.append((labels, {"value": child.value}))
+        _prom_family(metric.name, metric.kind, metric.help, series, out)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def records_to_prometheus(records: list) -> str:
+    """Prometheus text from ``collect()``-shaped metric records (the
+    ``repro metrics --from FILE`` path: no help text survives the JSONL
+    round trip, so families carry ``# TYPE`` only)."""
+    families: dict[str, tuple[str, list]] = {}
+    order: list[str] = []
+    for record in records:
+        if record.get("record") != "metric":
+            continue
+        name = record["name"]
+        if name not in families:
+            families[name] = (record.get("type", "untyped"), [])
+            order.append(name)
+        labels = record.get("labels", {})
+        if record.get("type") == "histogram":
+            families[name][1].append((labels, {
+                "buckets": record.get("buckets", []),
+                "counts": record.get("counts", []),
+                "sum": record.get("sum", 0.0),
+                "count": record.get("count", 0),
+            }))
+        else:
+            families[name][1].append(
+                (labels, {"value": record.get("value", 0.0)}))
+    out: list[str] = []
+    for name in order:
+        kind, series = families[name]
+        _prom_family(name, kind, "", series, out)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def lint_prometheus(text: str) -> list:
+    """Structural problems in Prometheus exposition text (empty list =
+    clean).  Checks line syntax, TYPE-before-samples, histogram
+    completeness (``+Inf`` bucket present, cumulative non-decreasing,
+    ``+Inf`` == ``_count``) -- the checks the CI prom lint runs."""
+    import re
+
+    problems: list = []
+    sample_re = re.compile(
+        rf"^({_PROM_NAME_RE_TEXT})"
+        r"(\{(.*)\})? "
+        r"(NaN|[+-]Inf|[+-]?[0-9.eE+-]+)"
+        r"( [0-9]+)?$"
+    )
+    label_re = re.compile(
+        rf'^{_PROM_LABEL_RE_TEXT}="(\\.|[^"\\])*"$'
+    )
+    typed: dict[str, str] = {}
+    sampled: set = set()
+    #: (family, label-key) -> [per-bucket cumulative values, count]
+    hist: dict = {}
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) \
+                    and name[: -len(suffix)] in typed:
+                return name[: -len(suffix)]
+        return name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 \
+                    or not re.fullmatch(_PROM_NAME_RE_TEXT, parts[2]):
+                problems.append(
+                    f"line {lineno}: malformed {parts[1]} line")
+                continue
+            if parts[1] == "TYPE":
+                name = parts[2]
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    problems.append(
+                        f"line {lineno}: bad TYPE for {name}")
+                elif name in typed:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {name}")
+                elif name in sampled:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its "
+                        "samples")
+                else:
+                    typed[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment: allowed
+        match = sample_re.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample line")
+            continue
+        name, _, label_body, value_text = match.group(1, 2, 3, 4)
+        labels = {}
+        if label_body:
+            for part in re.split(r",(?=[a-zA-Z_])", label_body):
+                if not label_re.match(part):
+                    problems.append(
+                        f"line {lineno}: bad label {part!r}")
+                    continue
+                key, _, raw = part.partition("=")
+                labels[key] = raw[1:-1]
+        family = family_of(name)
+        sampled.add(family)
+        if family not in typed:
+            problems.append(
+                f"line {lineno}: sample {name} has no TYPE")
+            continue
+        if typed.get(family) == "histogram":
+            key = (family, tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le")))
+            entry = hist.setdefault(
+                key, {"buckets": [], "inf": None, "count": None})
+            value = float(value_text.replace("Inf", "inf"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le")
+                elif labels["le"] == "+Inf":
+                    entry["inf"] = value
+                else:
+                    entry["buckets"].append((lineno, value))
+            elif name.endswith("_count"):
+                entry["count"] = value
+    for (family, _), entry in sorted(hist.items()):
+        if entry["inf"] is None:
+            problems.append(
+                f"{family}: histogram series missing le=\"+Inf\"")
+        last = 0.0
+        for lineno, value in entry["buckets"]:
+            if value < last:
+                problems.append(
+                    f"line {lineno}: {family} buckets not cumulative")
+            last = value
+        if entry["inf"] is not None:
+            if entry["inf"] < last:
+                problems.append(
+                    f"{family}: +Inf bucket below a finite bucket")
+            if entry["count"] is not None \
+                    and entry["inf"] != entry["count"]:
+                problems.append(
+                    f"{family}: +Inf bucket != _count "
+                    f"({entry['inf']:g} vs {entry['count']:g})")
+    return problems

@@ -35,9 +35,31 @@ DEFAULT_NS_BUCKETS = (
     1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 1e8,
 )
 
+_INF = float("inf")
+
 
 class MetricError(ValueError):
     """Misuse of the metrics registry (type clash, bad labels...)."""
+
+
+def _normalize_buckets(buckets: Sequence[float]) -> tuple[float, ...]:
+    """Validated, sorted, deduplicated finite bucket bounds.
+
+    An explicit ``+Inf`` bound is dropped (the overflow bucket always
+    exists); NaN bounds and an empty result are registration errors,
+    caught here rather than as silent misbinning at observe time.
+    """
+    finite = []
+    for bound in buckets:
+        bound = float(bound)
+        if bound != bound:
+            raise MetricError("histogram bucket bound is NaN")
+        if bound == _INF:
+            continue  # the implicit overflow bucket
+        finite.append(bound)
+    if not finite:
+        raise MetricError("histogram needs at least one finite bucket")
+    return tuple(sorted(set(finite)))
 
 
 class _Child:
@@ -78,13 +100,17 @@ class _HistogramChild:
     def observe(self, value: float) -> None:
         if not self.registry.enabled:
             return
-        self.sum += value
         self.count += 1
+        if value != value:  # NaN: unbinnable -> explicit overflow
+            self.counts[-1] += 1
+            return
+        if -_INF < value < _INF:
+            self.sum += value  # non-finite values must not poison sum
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
                 return
-        self.counts[-1] += 1
+        self.counts[-1] += 1  # out of range: the +Inf overflow bucket
 
 
 class Metric:
@@ -220,7 +246,7 @@ class MetricsRegistry:
     ) -> Metric:
         """A fixed-bucket distribution (fault-handler latency...)."""
         return self._register(name, "histogram", help, labels, unit,
-                              buckets=buckets)
+                              buckets=_normalize_buckets(buckets))
 
     # -- introspection -------------------------------------------------------
 

@@ -49,7 +49,7 @@ class SimTimeSampler:
         self.dropped = 0
         self._started = False
         self._last = {"faults": 0, "local_words": 0, "remote_words": 0,
-                      "events": 0}
+                      "events": 0, "time_ns": 0}
         self.registry = registry
         if registry is not None:
             self._g_frozen = registry.gauge(
@@ -101,16 +101,24 @@ class SimTimeSampler:
             for ipt in machine.ipts
         ]
         last = self._last
-        interval_ms = self.period_ns / 1e6
+        # the *actual* elapsed sim time, not the nominal period: a
+        # final row on an already-finished (or zero-duration) run can
+        # land at the same instant as the previous tick -- rate is then
+        # 0.0 by definition, never a ZeroDivisionError.  On-schedule
+        # ticks see interval == period exactly, as before.
+        interval_ms = (now - last["time_ns"]) / 1e6
+        if interval_ms > 0:
+            fault_rate = round(
+                (faults - last["faults"]) / interval_ms, 6)
+        else:
+            fault_rate = 0.0
         sample = {
             "record": SAMPLE_RECORD,
             "time_ns": now,
             "time_ms": now / 1e6,
             "faults": faults,
             "faults_interval": faults - last["faults"],
-            "fault_rate_per_ms": round(
-                (faults - last["faults"]) / interval_ms, 6
-            ),
+            "fault_rate_per_ms": fault_rate,
             "frozen_pages": frozen,
             "freezes": freezes,
             "thaws": thaws,
@@ -127,6 +135,7 @@ class SimTimeSampler:
         last["local_words"] = local_words
         last["remote_words"] = remote_words
         last["events"] = events
+        last["time_ns"] = now
         if self._g_frozen is not None:
             self._g_frozen.set(frozen)
             self._g_queue.set(kernel.engine.pending_events)

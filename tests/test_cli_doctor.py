@@ -1,0 +1,100 @@
+"""repro doctor: the section 4.2 reconciliation contract and the CLI
+error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SEC42 = ["sec42", "-p", "4", "--machine", "4"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+@pytest.fixture(scope="module")
+def sec42_doctor_json(tmp_path_factory):
+    base = tmp_path_factory.mktemp("doctor")
+    paths = []
+    for i in range(2):  # two runs: the byte-stability half of the test
+        path = base / f"findings{i}.json"
+        code = main(["doctor", *SEC42, "--format", "json",
+                     "-o", str(path)])
+        assert code == 0
+        paths.append(path)
+    return paths
+
+
+def test_sec42_doctor_report_is_byte_stable(sec42_doctor_json):
+    first, second = sec42_doctor_json
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_sec42_doctor_flags_the_page_explain_ranks_first(
+        sec42_doctor_json, capsys):
+    """The acceptance contract: the doctor's top false-sharing finding
+    names the page ``repro explain`` ranks #1 (misc[0] in the paper's
+    section 4.2 anecdote)."""
+    report = json.loads(sec42_doctor_json[0].read_text())
+    assert report["schema"] == "repro-findings/1"
+    top = next(f for f in report["findings"]
+               if f["detector"] == "false_sharing")
+    assert top["severity"] == "critical"
+    assert top["label"].startswith("misc")
+    code, out = run_cli(capsys, "explain", *SEC42, "--format", "json")
+    assert code == 0
+    explain_top = json.loads(out)["top_pages"][0]
+    assert top["cpage"] == explain_top["cpage"]
+    assert top["label"] == explain_top["label"]
+
+
+def test_doctor_text_format_renders_findings(capsys):
+    code, out = run_cli(capsys, "doctor", *SEC42)
+    assert code == 0
+    assert out.startswith("doctor: sec42")
+    assert "false_sharing" in out
+    assert "ping-pong" in out
+
+
+def test_doctor_detector_selection(capsys):
+    code, out = run_cli(capsys, "doctor", *SEC42, "--format", "json",
+                        "--detector", "frozen_thrash")
+    assert code == 0
+    report = json.loads(out)
+    assert report["detectors"] == ["frozen_thrash"]
+    assert all(f["detector"] == "frozen_thrash"
+               for f in report["findings"])
+
+
+def test_doctor_on_a_ledger_runs_the_pool_detector(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    run_cli(capsys, "--ledger", str(ledger), "table1")
+    code, out = run_cli(capsys, "doctor", "--format", "json",
+                        str(ledger))
+    assert code == 0
+    report = json.loads(out)
+    assert report["detectors"] == ["pool_wall"]
+
+
+def test_doctor_unknown_detector_is_a_oneline_exit_2(capsys):
+    code, out = run_cli(capsys, "doctor", *SEC42,
+                        "--detector", "warp_core")
+    assert code == 2
+    assert out.strip().splitlines() == [
+        "repro doctor: unknown detector 'warp_core' (have: "
+        "false_sharing, shootdown_storm, frozen_thrash, "
+        "defrost_starvation, pool_wall)"
+    ]
+
+
+def test_doctor_missing_target_is_a_oneline_exit_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "doctor",
+                        str(tmp_path / "nothing.trace"))
+    assert code == 2
+    lines = out.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("repro doctor:")

@@ -279,3 +279,206 @@ def test_bench_profile_wall_prints_top_functions(tmp_path, capsys):
     assert code == 0
     assert "cumtime" in out
     assert "_execute" in out
+
+
+# -- repro --history / obs history --------------------------------------------
+
+
+def test_history_flag_records_and_list_show_read_back(tmp_path,
+                                                      capsys):
+    hist = tmp_path / "hist"
+    code, _out = run_cli(capsys, "--history", str(hist), "table1")
+    assert code == 0
+    code, out = run_cli(capsys, "obs", "history", "list",
+                        "--dir", str(hist))
+    assert code == 0
+    assert "table1" in out
+    code, out = run_cli(capsys, "obs", "history", "show",
+                        "--dir", str(hist))
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == "repro-run/1"
+    assert doc["verb"] == "table1"
+    assert doc["exit_code"] == 0
+    assert "t0_s" in doc["wall"]
+
+
+def test_repro_history_env_var_is_the_flag(tmp_path, capsys,
+                                           monkeypatch):
+    hist = tmp_path / "hist"
+    monkeypatch.setenv("REPRO_HISTORY", str(hist))
+    code, _out = run_cli(capsys, "transitions")
+    assert code == 0
+    code, out = run_cli(capsys, "obs", "history", "list",
+                        "--dir", str(hist))
+    assert code == 0
+    assert "transitions" in out
+
+
+def test_history_show_strip_wall_is_byte_stable(tmp_path, capsys):
+    hist = tmp_path / "hist"
+    for _ in range(2):
+        code, _out = run_cli(capsys, "--history", str(hist), "table1")
+        assert code == 0
+    stripped = []
+    for run in ("1", "2"):
+        code, out = run_cli(capsys, "obs", "history", "show", run,
+                            "--strip-wall", "--dir", str(hist))
+        assert code == 0
+        doc = json.loads(out)
+        assert "wall" not in doc
+        doc.pop("run")  # the store index is the only expected delta
+        stripped.append(json.dumps(doc, sort_keys=True))
+    assert stripped[0] == stripped[1]
+
+
+def test_history_verbs_on_a_missing_store_exit_2(tmp_path, capsys):
+    missing = str(tmp_path / "void")
+    for argv in (["obs", "history", "list", "--dir", missing],
+                 ["obs", "history", "show", "--dir", missing],
+                 ["obs", "history", "trend", "--dir", missing]):
+        code, out = run_cli(capsys, *argv)
+        assert code == 2
+        lines = out.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("repro obs")
+
+
+def test_history_trend_gates_a_three_run_series(tmp_path, capsys):
+    import copy
+
+    from repro.obs import load_history
+    from repro.obs.history import append_summary, strip_wall_summary
+
+    hist = tmp_path / "hist"
+    for _ in range(2):  # identical argv: reruns overwrite --out
+        code, _out = run_cli(
+            capsys, "--history", str(hist), "bench", "--scale",
+            "smoke", "--filter", "tab1_costmodel", "-q",
+            "--out", str(tmp_path / "r"))
+        assert code == 0
+    code, out = run_cli(capsys, "obs", "history", "trend",
+                        "--dir", str(hist))
+    assert code == 0
+    assert "=> ok" in out
+    # same-args reruns are byte-identical after wall stripping
+    runs = load_history(str(hist))
+    views = [dict(strip_wall_summary(s)) for s in runs]
+    for view in views:
+        view.pop("run")
+    assert views[0] == views[1]
+    # inject a doctored third run with every wall figure doubled:
+    # the CI self-test contract, the gate must fail
+    slow = copy.deepcopy(runs[-1])
+    slow.pop("run")
+    for target in slow["wall"]["bench"].values():
+        if "wall_clock_s" in target:
+            target["wall_clock_s"] *= 2
+        for row in target.get("points", {}).values():
+            if "wall_s" in row:
+                row["wall_s"] *= 2
+            if "events_per_s" in row:
+                row["events_per_s"] /= 2
+    append_summary(str(hist), slow)
+    code, out = run_cli(capsys, "obs", "history", "trend",
+                        "--dir", str(hist), "--min-wall-s", "0")
+    assert code == 1
+    assert "REGRESSION" in out
+
+
+def test_obs_trend_history_conflicts_with_files(tmp_path, capsys):
+    code, out = run_cli(capsys, "obs", "trend", "--history", "3",
+                        str(tmp_path / "a.json"))
+    assert code == 2
+    assert "not both" in out
+
+
+# -- repro obs ledger --follow ------------------------------------------------
+
+
+def test_obs_ledger_follow_renders_a_completed_run(tmp_path, capsys):
+    path = tmp_path / "ledger.jsonl"
+    run_cli(capsys, "--ledger", str(path), "table1")
+    code, out = run_cli(capsys, "obs", "ledger", "--follow",
+                        str(path), "--poll-s", "0")
+    assert code == 0
+    assert "following repro table1" in out
+    assert "ledger closed: status=ok" in out
+
+
+def test_obs_ledger_follow_timeout_exits_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "obs", "ledger", "--follow",
+                        str(tmp_path / "never.jsonl"),
+                        "--poll-s", "0.01", "--timeout", "0.05")
+    assert code == 2
+    assert "repro obs ledger:" in out
+
+
+def test_bench_ledger_carries_progress_ticks_and_heartbeats(
+        tmp_path, capsys):
+    from repro.obs import strip_wall_ledger
+
+    path = tmp_path / "ledger.jsonl"
+    code, _out = run_cli(
+        capsys, "--ledger", str(path), "bench", "--scale", "smoke",
+        "--filter", "tab1_costmodel", "-q",
+        "--out", str(tmp_path / "r"))
+    assert code == 0
+    records = read_ledger(path)
+    ticks = [r for r in records if r.get("record") == "tick"]
+    names = {t["name"] for t in ticks}
+    assert "bench.progress" in names
+    assert "pool.heartbeat" in names
+    progress = [t for t in ticks if t["name"] == "bench.progress"]
+    assert progress[-1]["wall"]["done"] == \
+        progress[-1]["wall"]["total"]
+    assert all("tick" not in r.get("record", "")
+               for r in strip_wall_ledger(records))
+
+
+# -- Prometheus exposition and sampler guards ---------------------------------
+
+
+def test_metrics_prom_format_passes_the_lint(capsys):
+    from repro.telemetry import lint_prometheus
+
+    code, out = run_cli(capsys, "metrics", "gauss", "-n", "12",
+                        "-p", "2", "--machine", "4",
+                        "--format", "prom")
+    assert code == 0
+    assert "# TYPE" in out
+    assert lint_prometheus(out) == []
+
+
+def test_metrics_from_file_prom_format(tmp_path, capsys):
+    from repro.telemetry import lint_prometheus
+
+    dump = tmp_path / "metrics.jsonl"
+    code, _out = run_cli(capsys, "metrics", "gauss", "-n", "12",
+                         "-p", "2", "--machine", "4",
+                         "--out", str(dump))
+    assert code == 0
+    code, out = run_cli(capsys, "metrics", "--from", str(dump),
+                        "--format", "prom")
+    assert code == 0
+    assert lint_prometheus(out) == []
+
+
+def test_metrics_bad_sample_ms_is_a_oneline_exit_2(capsys):
+    code, out = run_cli(capsys, "metrics", "gauss", "-n", "12",
+                        "--sample-ms", "0")
+    assert code == 2
+    assert out.strip().splitlines() == [
+        "repro metrics: --sample-ms must be positive, got 0.0"
+    ]
+
+
+def test_run_verb_bad_sample_ms_is_a_oneline_exit_2(tmp_path, capsys):
+    code, out = run_cli(capsys, "gauss", "-n", "12", "-p", "2",
+                        "--machine", "4", "--metrics-out",
+                        str(tmp_path / "m.jsonl"),
+                        "--sample-ms", "-1")
+    assert code == 2
+    assert out.strip().splitlines() == [
+        "repro gauss: --sample-ms must be positive, got -1.0"
+    ]

@@ -1,0 +1,188 @@
+"""The repro-run/1 history store: append/load round trips, the
+wall-quarantine contract, and the RunRecorder."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import make_doc
+from repro.obs import (
+    HISTORY_SCHEMA,
+    HistoryError,
+    RunRecorder,
+    append_summary,
+    get_recorder,
+    history_root,
+    list_runs,
+    load_history,
+    load_summary,
+    set_recorder,
+    strip_wall_summary,
+)
+from repro.obs.history import run_path, summary_line
+
+
+def summary_doc(verb="bench", **extras):
+    doc = {
+        "schema": HISTORY_SCHEMA,
+        "verb": verb,
+        "argv": [verb, "--scale", "smoke"],
+        "args_sha256": "f" * 64,
+        "status": "ok",
+        "exit_code": 0,
+        "wall": {"t0_s": 123.4, "dur_s": 0.5},
+    }
+    doc.update(extras)
+    return doc
+
+
+# -- store mechanics -----------------------------------------------------------
+
+
+def test_append_stamps_consecutive_indices(tmp_path):
+    root = str(tmp_path / "hist")
+    for _ in range(3):
+        append_summary(root, summary_doc())
+    assert list_runs(root) == [1, 2, 3]
+    assert load_summary(root, 2)["run"] == 2
+
+
+def test_round_trip_is_byte_identical_after_wall_stripping(tmp_path):
+    """Satellite contract: write N summaries, reread, byte-identical
+    once the wall key is gone."""
+    root = str(tmp_path / "hist")
+    written = []
+    for i in range(5):
+        doc = summary_doc(sim={"sim_time_ns": 1000 + i},
+                          wall={"t0_s": 1.0 + i, "dur_s": 0.1 * i})
+        append_summary(root, doc)
+        written.append(doc)
+    reread = load_history(root)
+    assert len(reread) == 5
+    for i, (orig, back) in enumerate(zip(written, reread), start=1):
+        expected = dict(strip_wall_summary(orig), run=i)
+        assert json.dumps(strip_wall_summary(back), sort_keys=True) \
+            == json.dumps(expected, sort_keys=True)
+
+
+def test_load_history_last_n_and_zero_means_all(tmp_path):
+    root = str(tmp_path / "hist")
+    for i in range(4):
+        append_summary(root, summary_doc(extras={"i": i}))
+    assert [s["run"] for s in load_history(root, last=2)] == [3, 4]
+    assert [s["run"] for s in load_history(root, last=0)] == [1, 2, 3, 4]
+    assert [s["run"] for s in load_history(root)] == [1, 2, 3, 4]
+
+
+def test_missing_store_missing_run_and_bad_schema_raise(tmp_path):
+    with pytest.raises(HistoryError, match="no history store"):
+        list_runs(str(tmp_path / "nope"))
+    root = str(tmp_path / "hist")
+    append_summary(root, summary_doc())
+    with pytest.raises(HistoryError, match="no run 9"):
+        load_summary(root, 9)
+    run_path_7 = run_path(root, 7)
+    with open(run_path_7, "w") as handle:
+        handle.write('{"schema":"other/1"}\n')
+    with pytest.raises(HistoryError, match="not a repro-run/1"):
+        load_summary(root, 7)
+
+
+def test_history_root_resolution(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_HISTORY", raising=False)
+    assert history_root("explicit") == "explicit"
+    monkeypatch.setenv("REPRO_HISTORY", str(tmp_path))
+    assert history_root(None) == str(tmp_path)
+    assert history_root("explicit") == "explicit"
+    monkeypatch.delenv("REPRO_HISTORY")
+    assert history_root(None).endswith("history")
+
+
+def test_summary_line_shows_verb_and_bench_targets():
+    line = summary_line(summary_doc(
+        run=3,
+        bench={"targets": {"fig1_gauss": {"sha256": "a", "points": 2}}},
+        sim={"sim_time_ns": 5_000_000},
+    ))
+    assert "bench" in line
+    assert "fig1_gauss" in line
+    assert "sim=5.000ms" in line
+
+
+# -- the RunRecorder -----------------------------------------------------------
+
+
+def bench_doc(point_wall):
+    return make_doc(
+        target="t", title="a target", scale="smoke", config={},
+        points=[{"name": "p=2", "config": {"p": 2},
+                 "metrics": {"sim_time_ms": 1.0,
+                             "events_executed": 10_000},
+                 "error": None, "ok": True, "seed": 7,
+                 "wall_s": point_wall}],
+        derived={}, counters={"faults": 12},
+        wall_clock_s=point_wall, jobs=1,
+    )
+
+
+def recorded_summary(tmp_path, name, point_wall):
+    recorder = RunRecorder(str(tmp_path / name), "bench",
+                           ["bench", "--scale", "smoke"])
+    recorder.note(scale="smoke", seed=42)
+    recorder.note_sim(sim_time_ns=1_000_000, faults=12)
+    recorder.note_wall(jobs=2)
+    recorder.note_bench("t", bench_doc(point_wall))
+    recorder.finish("ok", 0)
+    return load_history(str(tmp_path / name))[0]
+
+
+def test_recorder_quarantines_wall_and_hashes_stripped_docs(tmp_path):
+    a = recorded_summary(tmp_path, "a", point_wall=0.1)
+    b = recorded_summary(tmp_path, "b", point_wall=9.9)
+    # wall figures differ wildly; the deterministic view is identical
+    assert a["wall"]["bench"]["t"]["points"]["p=2"]["wall_s"] == 0.1
+    assert b["wall"]["bench"]["t"]["points"]["p=2"]["wall_s"] == 9.9
+    assert json.dumps(strip_wall_summary(a), sort_keys=True) \
+        == json.dumps(strip_wall_summary(b), sort_keys=True)
+    assert a["bench"]["targets"]["t"]["points"] == 1
+    assert a["extras"] == {"scale": "smoke", "seed": 42}
+    assert a["sim"]["faults"] == 12
+    # events/s is derived from wall_s, so it is wall data
+    assert "events_per_s" in \
+        a["wall"]["bench"]["t"]["points"]["p=2"]
+
+
+def test_recorder_finish_is_idempotent(tmp_path):
+    root = str(tmp_path / "hist")
+    recorder = RunRecorder(root, "run", ["run"])
+    first = recorder.finish("ok", 0)
+    assert recorder.finish("error", 1) == first
+    assert list_runs(root) == [1]
+
+
+def test_recorder_ledger_hash_strips_wall(tmp_path):
+    records = [
+        {"record": "meta", "schema": "repro-events/1",
+         "wall": {"t0_s": 1.0}},
+        {"record": "tick", "name": "bench.progress",
+         "wall": {"t_s": 2.0}},
+    ]
+    recorder = RunRecorder(str(tmp_path / "a"), "bench", [])
+    recorder.note_ledger(records)
+    slow = [dict(records[0], wall={"t0_s": 99.0})]  # ticks dropped too
+    other = RunRecorder(str(tmp_path / "b"), "bench", [])
+    other.note_ledger(slow)
+    a = recorder.summary("ok", 0)
+    b = other.summary("ok", 0)
+    assert a["ledger_sha256"] == b["ledger_sha256"]
+
+
+def test_ambient_recorder_install_and_clear(tmp_path):
+    assert get_recorder() is None
+    recorder = RunRecorder(str(tmp_path), "run", [])
+    set_recorder(recorder)
+    try:
+        assert get_recorder() is recorder
+    finally:
+        set_recorder(None)
+    assert get_recorder() is None

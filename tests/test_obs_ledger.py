@@ -195,3 +195,117 @@ def test_append_span_parents_under_explicit_sid():
     point = next(r for r in records if r.get("name") == "point")
     sweep_rec = next(r for r in records if r.get("name") == "sweep")
     assert point["parent"] == sweep_rec["sid"]
+
+
+# -- tick records and the follow channel --------------------------------------
+
+
+def test_tick_records_are_wall_only_and_validate():
+    ledger = make_ledger()
+    ledger.tick("bench.progress", task="t0", done=1, total=3)
+    ledger.close()
+    records = records_of(ledger)
+    tick = next(r for r in records if r["record"] == "tick")
+    assert "sid" not in tick
+    assert tick["name"] == "bench.progress"
+    assert tick["wall"]["task"] == "t0"
+    assert set(tick) == {"record", "name", "wall"}
+    assert validate_ledger(records) == []
+
+
+def test_validate_rejects_a_tick_with_a_sid():
+    problems = validate_ledger([
+        {"record": "meta", "schema": LEDGER_SCHEMA},
+        {"record": "tick", "name": "t", "sid": 4, "wall": {}},
+    ])
+    assert any("wall-only" in p for p in problems)
+
+
+def test_strip_wall_ledger_drops_ticks_and_is_idempotent():
+    ledger = make_ledger()
+    with ledger.span("root"):
+        ledger.tick("bench.progress", done=1)
+        ledger.event("e")
+        ledger.tick("pool.heartbeat", busy=2)
+    ledger.close()
+    stripped = strip_wall_ledger(records_of(ledger))
+    assert all(r["record"] != "tick" for r in stripped)
+    assert all("wall" not in r for r in stripped)
+    # idempotence: stripping the stripped view is a no-op
+    assert strip_wall_ledger(stripped) == stripped
+
+
+def test_ambient_tick_routes_and_noops():
+    ledger_mod.tick("ignored", x=1)  # no ambient ledger: a no-op
+    ledger = make_ledger()
+    previous = set_ledger(ledger)
+    try:
+        ledger_mod.tick("bench.progress", done=2)
+    finally:
+        set_ledger(previous)
+    ledger.close()
+    assert any(r.get("record") == "tick" for r in records_of(ledger))
+
+
+def test_follow_ledger_yields_all_records_then_returns(tmp_path):
+    from repro.obs import follow_ledger
+
+    path = tmp_path / "ledger.jsonl"
+    ledger = RunLedger(path, verb="bench")
+    ledger.tick("bench.progress", done=1, total=2)
+    with ledger.span("work"):
+        pass
+    ledger.close()
+    records = list(follow_ledger(path, poll_s=0, timeout_s=5))
+    assert [r["record"] for r in records] == \
+        ["meta", "tick", "span", "close"]
+
+
+def test_follow_ledger_times_out_without_a_close(tmp_path):
+    from repro.obs import follow_ledger
+
+    path = tmp_path / "ledger.jsonl"
+    RunLedger(path, verb="v")  # never closed
+    clock_now = [0.0]
+
+    def clock():
+        clock_now[0] += 1.0
+        return clock_now[0]
+
+    with pytest.raises(LedgerError, match="no close record"):
+        list(follow_ledger(path, poll_s=0, timeout_s=3,
+                           clock=clock, sleep=lambda _s: None))
+
+
+def test_follow_ledger_times_out_on_a_missing_file(tmp_path):
+    from repro.obs import follow_ledger
+
+    clock_now = [0.0]
+
+    def clock():
+        clock_now[0] += 1.0
+        return clock_now[0]
+
+    with pytest.raises(LedgerError, match="no ledger appeared"):
+        list(follow_ledger(tmp_path / "never.jsonl", poll_s=0,
+                           timeout_s=2, clock=clock,
+                           sleep=lambda _s: None))
+
+
+def test_render_follow_record_lines():
+    from repro.obs import render_follow_record
+
+    assert "following repro bench" in render_follow_record(
+        {"record": "meta", "verb": "bench", "wall": {"pid": 7}})
+    progress = render_follow_record({
+        "record": "tick", "name": "bench.progress",
+        "wall": {"task": "t::p=2", "ok": True, "done": 2, "total": 9,
+                 "dur_s": 0.25}})
+    assert "[2/9]" in progress and "t::p=2" in progress
+    heartbeat = render_follow_record({
+        "record": "tick", "name": "pool.heartbeat",
+        "wall": {"busy": 3, "pending": 1, "tasks_done": 4}})
+    assert "3 busy" in heartbeat and "4 done" in heartbeat
+    closed = render_follow_record(
+        {"record": "close", "status": "ok", "spans": 2, "events": 0})
+    assert "ledger closed" in closed

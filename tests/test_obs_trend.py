@@ -174,3 +174,69 @@ def test_trend_series_compares_consecutive_pairs(tmp_path):
     assert doc["ok"] is False
     with pytest.raises(TrendError):
         trend_series(paths[:1])
+
+
+# -- series gating over repro-run/1 history summaries -------------------------
+
+
+def run_summary(run, sha="a" * 64, wall_clock=1.0, point_wall=1.0,
+                eps=10_000.0):
+    return {
+        "schema": "repro-run/1", "run": run, "verb": "bench",
+        "argv": ["bench"], "status": "ok", "exit_code": 0,
+        "extras": {"scale": "smoke"},
+        "bench": {"targets": {"t": {"sha256": sha, "points": 1}}},
+        "wall": {"t0_s": 0.0, "dur_s": 1.0, "bench": {"t": {
+            "wall_clock_s": wall_clock,
+            "points": {"p=2": {"wall_s": point_wall,
+                               "events_per_s": eps}}}}},
+    }
+
+
+def test_trend_history_steady_series_passes():
+    from repro.obs import trend_history
+
+    verdict = trend_history([run_summary(i) for i in (1, 2, 3)])
+    assert verdict["schema"] == TREND_SCHEMA
+    assert verdict["series"] == ["run 1", "run 2", "run 3"]
+    assert len(verdict["steps"]) == 2
+    assert verdict["ok"] is True
+
+
+def test_trend_history_flags_a_2x_wall_slowdown():
+    from repro.obs import trend_history
+
+    series = [run_summary(1), run_summary(2),
+              run_summary(3, wall_clock=2.0, point_wall=2.0,
+                          eps=5_000.0)]
+    verdict = trend_history(series)
+    assert verdict["ok"] is False
+    last = verdict["steps"][-1]
+    assert "t.wall_clock_s" in last["regressions"]
+    assert "t::p=2.wall_s" in last["regressions"]
+    assert "t::p=2.events_per_s" in last["regressions"]
+    assert verdict["steps"][0]["ok"] is True
+    text = render_trend(verdict)
+    assert "run 2 -> run 3" in text
+    assert "REGRESSION" in text
+
+
+def test_trend_history_flags_sha_drift():
+    from repro.obs import trend_history
+
+    verdict = trend_history(
+        [run_summary(1), run_summary(2, sha="b" * 64)])
+    assert verdict["ok"] is False
+    assert verdict["steps"][0]["drifted"] == ["t"]
+    assert "sha256" in verdict["steps"][0]["targets"]["t"]["drift"][0]
+
+
+def test_trend_history_skips_benchless_runs_and_needs_two():
+    from repro.obs import trend_history
+
+    benchless = {"schema": "repro-run/1", "run": 5, "verb": "table1"}
+    verdict = trend_history(
+        [run_summary(1), benchless, run_summary(3)])
+    assert verdict["series"] == ["run 1", "run 3"]
+    with pytest.raises(TrendError, match="at least two bench"):
+        trend_history([run_summary(1), benchless])

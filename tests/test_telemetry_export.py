@@ -266,3 +266,87 @@ def test_cli_run_closes_sinks_when_the_run_raises(tmp_path, capsys,
                       "--trace-out", str(path)])
     capsys.readouterr()
     assert path.exists()  # opened, flushed and closed despite the crash
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def prom_registry():
+    from repro.telemetry import MetricsRegistry
+
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("repro_faults_total", "coherent page faults",
+                    labels=("processor",))
+    c.labels(0).inc(3)
+    c.labels(1).inc(2)
+    reg.gauge("repro_frozen_pages", "currently frozen pages").set(4)
+    h = reg.histogram("repro_fault_ns", "fault latency",
+                      buckets=(10, 100))
+    for value in (5, 50, 5000):
+        h.observe(value)
+    return reg
+
+
+def test_to_prometheus_renders_families_and_histograms():
+    from repro.telemetry import to_prometheus
+
+    text = to_prometheus(prom_registry())
+    assert "# TYPE repro_faults_total counter" in text
+    assert 'repro_faults_total{processor="0"} 3' in text
+    assert "# HELP repro_frozen_pages currently frozen pages" in text
+    # cumulative buckets end at +Inf == _count
+    assert 'repro_fault_ns_bucket{le="10"} 1' in text
+    assert 'repro_fault_ns_bucket{le="100"} 2' in text
+    assert 'repro_fault_ns_bucket{le="+Inf"} 3' in text
+    assert "repro_fault_ns_count 3" in text
+    assert "repro_fault_ns_sum 5055" in text
+    assert text.endswith("\n")
+
+
+def test_to_prometheus_passes_its_own_lint():
+    from repro.telemetry import lint_prometheus, to_prometheus
+
+    assert lint_prometheus(to_prometheus(prom_registry())) == []
+
+
+def test_records_to_prometheus_round_trips_collect():
+    from repro.telemetry import (
+        lint_prometheus,
+        records_to_prometheus,
+        to_prometheus,
+    )
+
+    reg = prom_registry()
+    text = records_to_prometheus(reg.collect())
+    assert lint_prometheus(text) == []
+    # same samples as the direct path, minus the HELP lines
+    direct = [line for line in to_prometheus(reg).splitlines()
+              if not line.startswith("# HELP")]
+    assert text.splitlines() == direct
+
+
+def test_lint_prometheus_catches_structural_problems():
+    from repro.telemetry import lint_prometheus
+
+    assert any("no TYPE" in p for p in lint_prometheus("x 1\n"))
+    assert any("blank" in p for p in lint_prometheus(
+        "# TYPE x counter\n\nx 1\n"))
+    assert any("duplicate TYPE" in p for p in lint_prometheus(
+        "# TYPE x counter\nx 1\n# TYPE x counter\n"))
+    assert any("after its samples" in p for p in lint_prometheus(
+        "x 1\n# TYPE x counter\n"))
+    missing_inf = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="10"} 1\n'
+        "h_sum 5\nh_count 1\n"
+    )
+    assert any("+Inf" in p for p in lint_prometheus(missing_inf))
+    decreasing = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="10"} 2\n'
+        'h_bucket{le="100"} 1\n'
+        'h_bucket{le="+Inf"} 2\n'
+        "h_sum 5\nh_count 2\n"
+    )
+    assert any("not cumulative" in p
+               for p in lint_prometheus(decreasing))

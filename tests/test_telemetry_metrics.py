@@ -259,3 +259,59 @@ def test_metrics_from_corrupt_file_is_a_oneline_error(tmp_path, capsys):
     assert code == 2
     assert "not JSON" in out
     assert ":2:" in out  # names the offending line
+
+
+# -- histogram overflow hardening ---------------------------------------------
+
+
+def test_out_of_range_observation_lands_in_inf_bucket():
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("h", buckets=(10, 100))
+    h.observe(1e12)
+    h.observe(-5)  # below the lowest bound still bins (<= 10)
+    child = h.labels()
+    assert child.counts == [1, 0, 1]
+    assert child.count == 2
+    assert sum(child.counts) == child.count  # conservation
+
+
+def test_nan_and_infinite_observations_are_counted_not_lost():
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("h", buckets=(10,))
+    h.observe(float("nan"))
+    h.observe(float("inf"))
+    h.observe(float("-inf"))  # -inf <= 10: the first bucket
+    h.observe(5)
+    child = h.labels()
+    assert child.count == 4
+    assert sum(child.counts) == 4  # every observation binned somewhere
+    assert child.counts[-1] == 2  # NaN + +Inf in the overflow bucket
+    assert child.sum == 5  # non-finite values never poison the sum
+
+
+def test_bucket_bounds_are_sorted_deduped_and_inf_dropped():
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("h", buckets=(100, 10, 10, float("inf")))
+    assert h.buckets == (10.0, 100.0)
+    h.observe(50)
+    assert h.labels().counts == [0, 1, 0]
+
+
+def test_degenerate_bucket_sets_are_registration_errors():
+    reg = MetricsRegistry(enabled=True)
+    with pytest.raises(MetricError, match="at least one finite"):
+        reg.histogram("empty", buckets=())
+    with pytest.raises(MetricError, match="at least one finite"):
+        reg.histogram("only_inf", buckets=(float("inf"),))
+    with pytest.raises(MetricError, match="NaN"):
+        reg.histogram("nan", buckets=(float("nan"), 10))
+
+
+def test_collect_conserves_counts_under_overflow():
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("h", buckets=(1, 2))
+    for value in (0.5, 1.5, 99, float("nan")):
+        h.observe(value)
+    (record,) = [r for r in reg.collect() if r["name"] == "h"]
+    assert record["count"] == 4
+    assert sum(record["counts"]) == record["count"]

@@ -115,3 +115,29 @@ def test_to_jsonl_round_trips(tmp_path):
     with open(out, "w") as stream:
         sampler.to_jsonl(stream)
     assert out.read_text() == text
+
+
+# -- zero-duration hardening --------------------------------------------------
+
+
+def test_zero_interval_sample_has_zero_rate_not_a_crash():
+    """Two snapshots at the same simulated instant: the second must
+    report rate 0.0, never ZeroDivisionError."""
+    kernel = make_kernel(n_processors=2)
+    sampler = SimTimeSampler(kernel, period_ms=1.0)
+    first = sampler.sample_now()
+    second = sampler.sample_now()  # engine never advanced
+    assert first["time_ns"] == second["time_ns"] == 0
+    assert first["fault_rate_per_ms"] == 0.0
+    assert second["fault_rate_per_ms"] == 0.0
+    assert second["faults_interval"] == 0
+
+
+def test_rates_derive_from_actual_elapsed_interval():
+    kernel, sampler, result = _sampled_run(period_ms=1.0)
+    # a final snapshot at the end-of-run instant after the last tick
+    final = sampler.sample_now()
+    again = sampler.sample_now()
+    assert again["fault_rate_per_ms"] == 0.0
+    for sample in sampler.samples:
+        assert sample["fault_rate_per_ms"] >= 0.0
